@@ -1,0 +1,63 @@
+"""Figure 10: traffic per miss under inexact encodings, by message class.
+
+Paper claims:
+* DIRECTORY's traffic becomes dominated by acknowledgement messages under
+  extreme coarseness (paper: +319% total traffic at 256p single-bit);
+* PATCH's acknowledgement elision keeps the growth small (paper: max +32%).
+"""
+
+import pytest
+
+from repro.core.sweeps import coarseness_points
+from repro.stats.traffic import FIGURE5_ORDER
+
+from _shared import (ENC_CORE_COUNTS, encoding_results, format_table,
+                     report)
+
+GROUPS = ("Data", "Ack", "Ind. Req.", "Forward")
+
+
+def test_fig10_inexact_traffic(benchmark, capsys):
+    def run_all():
+        return {cores: encoding_results(cores, True)
+                for cores in ENC_CORE_COUNTS}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sections = []
+    growth = {}
+    ack_share = {}
+    for cores in ENC_CORE_COUNTS:
+        points = coarseness_points(cores)
+        rows = []
+        for label in ("Directory", "PATCH"):
+            sweep = data[cores][label]
+            base_total = sweep[1].bytes_per_miss_mean
+            for coarseness in points:
+                per_miss = sweep[coarseness].traffic_per_miss_mean()
+                total = sum(per_miss.values())
+                growth[(cores, label, coarseness)] = total / base_total
+                ack_share[(cores, label, coarseness)] = (
+                    per_miss["Ack"] / total if total else 0.0)
+                rows.append(
+                    [f"{label}-{cores}p", f"1:{coarseness}",
+                     f"{total / base_total:.2f}"] +
+                    [f"{per_miss[g] / base_total:.2f}" for g in GROUPS])
+        sections.append(format_table(
+            f"Figure 10 [{cores} cores, 2B/cy]: traffic/miss normalized "
+            "to the protocol's full-map total",
+            ["config", "enc", "total"] + list(GROUPS), rows))
+    text = "\n\n".join(sections)
+    report("fig10_inexact_traffic", text, capsys)
+
+    largest = max(ENC_CORE_COUNTS)
+    single_bit = largest  # coarseness == cores: one bit for all sharers
+    # Directory's traffic explodes with coarseness; acks dominate it.
+    assert growth[(largest, "Directory", single_bit)] > 2.0
+    assert ack_share[(largest, "Directory", single_bit)] > 0.35
+    # PATCH's ack elision bounds the growth (paper: max +32%).
+    assert growth[(largest, "PATCH", single_bit)] < 1.5
+    assert ack_share[(largest, "PATCH", single_bit)] < 0.15
+    # The gap widens with core count.
+    smaller = min(ENC_CORE_COUNTS)
+    assert growth[(largest, "Directory", largest)] > \
+        growth[(smaller, "Directory", smaller)] - 0.10

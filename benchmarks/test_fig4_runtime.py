@@ -1,0 +1,55 @@
+"""Figure 4: normalized runtime of Directory, PATCH-{None, Owner,
+Broadcast-If-Shared, All} and Token Coherence on the five workloads.
+
+Paper claims checked (Section 8.2/8.3):
+* PATCH-None performs like DIRECTORY (no common-case penalty from token
+  counting + token tenure);
+* PATCH-All outperforms DIRECTORY (22% oltp / 19% apache / 14% average in
+  the paper's 64-core setup);
+* PATCH-Owner sits between None and All;
+* Broadcast-If-Shared is close to PATCH-All.
+"""
+
+import pytest
+
+from repro.core.runner import normalized_runtimes
+from repro.stats.counters import geometric_mean
+
+from _shared import FIG4_WORKLOADS, fig45_results, format_table, report
+
+
+def test_fig4_runtime(benchmark, capsys):
+    results = benchmark.pedantic(fig45_results, rounds=1, iterations=1)
+    labels = list(next(iter(results.values())).keys())
+    rows = []
+    normalized_by_workload = {}
+    for workload in FIG4_WORKLOADS:
+        normalized = normalized_runtimes(results[workload])
+        normalized_by_workload[workload] = normalized
+        rows.append([workload] + [f"{normalized[label]:.3f}"
+                                  for label in labels])
+    geo = {label: geometric_mean([normalized_by_workload[w][label]
+                                  for w in FIG4_WORKLOADS])
+           for label in labels}
+    rows.append(["geomean"] + [f"{geo[label]:.3f}" for label in labels])
+    text = format_table(
+        "Figure 4: runtime normalized to Directory (lower is better)",
+        ["workload"] + labels, rows)
+    report("fig4_runtime", text, capsys)
+
+    # --- shape assertions --------------------------------------------------
+    for workload in FIG4_WORKLOADS:
+        normalized = normalized_by_workload[workload]
+        # PATCH-None ~= Directory: no common-case tenure penalty.
+        assert abs(normalized["PATCH-None"] - 1.0) < 0.08, workload
+    # PATCH-All beats Directory overall, most on the commercial workloads.
+    assert geo["PATCH-All"] < 0.97
+    assert normalized_by_workload["oltp"]["PATCH-All"] < 0.96
+    assert normalized_by_workload["apache"]["PATCH-All"] < 0.96
+    # Owner sits between None and All on average.
+    assert geo["PATCH-All"] <= geo["PATCH-Owner"] <= geo["PATCH-None"] + 0.02
+    # Broadcast-If-Shared tracks PATCH-All closely (paper: within 4%).
+    assert abs(geo["Broadcast-If-Shared"] - geo["PATCH-All"]) < 0.06
+    # Token coherence is in the same performance class as PATCH-All
+    # (broadcast helps at this small scale).
+    assert geo["Token Coherence"] < 1.0

@@ -1,0 +1,62 @@
+"""Figure 5: interconnect traffic (bytes/miss by message class),
+normalized to DIRECTORY, for the six Figure-4 configurations.
+
+Paper claims checked:
+* PATCH-None's traffic is close to DIRECTORY's (paper: +2% from
+  non-silent clean writebacks and activations);
+* PATCH-All adds substantial direct-request traffic (paper: +145%);
+* PATCH-Owner adds only a small amount (paper: +20%);
+* Broadcast-If-Shared uses less traffic than PATCH-All (paper: -22%).
+"""
+
+import pytest
+
+from repro.core.runner import normalized_traffic
+from repro.stats.traffic import FIGURE5_ORDER
+
+from _shared import FIG4_WORKLOADS, fig45_results, format_table, report
+
+
+def test_fig5_traffic(benchmark, capsys):
+    results = benchmark.pedantic(fig45_results, rounds=1, iterations=1)
+    labels = list(next(iter(results.values())).keys())
+    sections = []
+    totals = {label: [] for label in labels}
+    for workload in FIG4_WORKLOADS:
+        traffic = normalized_traffic(results[workload])
+        rows = []
+        for label in labels:
+            breakdown = traffic[label]
+            total = sum(breakdown.values())
+            totals[label].append(total)
+            rows.append([label, f"{total:.2f}"] +
+                        [f"{breakdown[group]:.2f}"
+                         for group in FIGURE5_ORDER])
+        sections.append(format_table(
+            f"Figure 5 [{workload}]: traffic/miss normalized to Directory",
+            ["config", "total"] + list(FIGURE5_ORDER), rows))
+    text = "\n\n".join(sections)
+    report("fig5_traffic", text, capsys)
+
+    avg = {label: sum(values) / len(values)
+           for label, values in totals.items()}
+    # PATCH-None close to Directory (token writebacks + activations only).
+    assert avg["PATCH-None"] < 1.15
+    # Direct requests cost traffic: All >> Owner >= None.
+    assert avg["PATCH-All"] > avg["Broadcast-If-Shared"]
+    assert avg["Broadcast-If-Shared"] > avg["PATCH-Owner"]
+    assert avg["PATCH-Owner"] > avg["PATCH-None"]
+    # PATCH-All's extra traffic is substantial (paper: +145%; our smaller
+    # 16-core broadcast trees make it cheaper, but it must be the most
+    # traffic-hungry PATCH variant by a wide margin).
+    assert avg["PATCH-All"] > 1.4
+    for workload in FIG4_WORKLOADS:
+        traffic = normalized_traffic(results[workload])
+        # Direct-request bytes only exist for the direct-request variants.
+        assert traffic["Directory"]["Dir. Req."] == 0.0
+        assert traffic["PATCH-None"]["Dir. Req."] == 0.0
+        assert traffic["PATCH-All"]["Dir. Req."] > 0.0
+        # Token counting elides acknowledgements: PATCH never acks more
+        # than Directory does.
+        assert (traffic["PATCH-None"]["Ack"]
+                <= traffic["Directory"]["Ack"] + 0.02)

@@ -1,0 +1,37 @@
+"""Figure 7: bandwidth adaptivity on jbb (same axes as Figure 6)."""
+
+import pytest
+
+from _shared import BW_POINTS, bandwidth_results, format_table, report
+
+WORKLOAD = "jbb"
+
+
+def test_fig7_bandwidth_jbb(benchmark, capsys):
+    sweep = benchmark.pedantic(lambda: bandwidth_results(WORKLOAD),
+                               rounds=1, iterations=1)
+    rows = []
+    series = {"PATCH-All-NA": {}, "PATCH-All": {}}
+    for bandwidth in BW_POINTS:
+        row = sweep[bandwidth]
+        base = row["Directory"].runtime_mean
+        na = row["PATCH-All-NA"].runtime_mean / base
+        be = row["PATCH-All"].runtime_mean / base
+        series["PATCH-All-NA"][bandwidth] = na
+        series["PATCH-All"][bandwidth] = be
+        rows.append([f"{bandwidth * 1000:.0f}", "1.000", f"{na:.3f}",
+                     f"{be:.3f}"])
+    text = format_table(
+        f"Figure 7 [{WORKLOAD}]: runtime normalized to Directory "
+        "vs link bandwidth",
+        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    report("fig7_bandwidth_jbb", text, capsys)
+
+    # Same qualitative claims as Figure 6.
+    assert series["PATCH-All"][8.0] <= 1.02
+    assert series["PATCH-All-NA"][8.0] <= 1.02
+    for bandwidth in BW_POINTS:
+        assert series["PATCH-All"][bandwidth] <= 1.05, bandwidth
+    assert series["PATCH-All"][0.3] <= series["PATCH-All-NA"][0.3]
+    # Non-adaptive degradation trend from plentiful to scarce bandwidth.
+    assert series["PATCH-All-NA"][0.3] > series["PATCH-All-NA"][8.0]

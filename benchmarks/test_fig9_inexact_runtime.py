@@ -1,0 +1,60 @@
+"""Figure 9: runtime under inexact (coarse) sharer encodings.
+
+For each core count, runtime of DIRECTORY and PATCH with sharer encodings
+from full-map (K=1) to a single bit (K=N), at unbounded and 2-bytes/cycle
+link bandwidth, normalized to the protocol's own full-map runtime.
+
+Paper claims:
+* with unbounded bandwidth all encodings perform similarly;
+* with bounded bandwidth DIRECTORY degrades badly as the encoding gets
+  coarser (ack implosion: every addressed core acknowledges);
+* PATCH barely degrades (only true token holders respond).
+"""
+
+import pytest
+
+from repro.core.sweeps import coarseness_points
+
+from _shared import (ENC_CORE_COUNTS, encoding_results, format_table,
+                     report)
+
+
+def test_fig9_inexact_runtime(benchmark, capsys):
+    def run_all():
+        return {(cores, bounded): encoding_results(cores, bounded)
+                for cores in ENC_CORE_COUNTS
+                for bounded in (False, True)}
+
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sections = []
+    worst = {}
+    for cores in ENC_CORE_COUNTS:
+        points = coarseness_points(cores)
+        rows = []
+        for label in ("Directory", "PATCH"):
+            for bounded in (False, True):
+                sweep = data[(cores, bounded)][label]
+                base = sweep[1].runtime_mean
+                normalized = {k: sweep[k].runtime_mean / base
+                              for k in points}
+                worst[(cores, label, bounded)] = max(normalized.values())
+                bw = "2B/cy" if bounded else "unbounded"
+                rows.append([f"{label}-{cores}p", bw] +
+                            [f"{normalized[k]:.3f}" for k in points])
+        sections.append(format_table(
+            f"Figure 9 [{cores} cores]: runtime normalized to full-map "
+            "(coarseness = cores per sharer bit)",
+            ["config", "bandwidth"] + [f"1:{k}" for k in points], rows))
+    text = "\n\n".join(sections)
+    report("fig9_inexact_runtime", text, capsys)
+
+    largest = max(ENC_CORE_COUNTS)
+    # Bounded bandwidth: Directory degrades with coarseness; PATCH stays
+    # nearly flat (paper: up to +142% vs +3.6% at 256p single-bit).
+    assert worst[(largest, "Directory", True)] > 1.20
+    assert worst[(largest, "PATCH", True)] < 1.12
+    assert worst[(largest, "Directory", True)] > \
+        worst[(largest, "PATCH", True)] + 0.10
+    # Directory's degradation grows with core count (scaling claim).
+    assert worst[(largest, "Directory", True)] >= \
+        worst[(min(ENC_CORE_COUNTS), "Directory", True)] - 0.05

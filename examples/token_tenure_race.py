@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""The paper's Figure 1/2 scenario: a race that strands tokens, and how
+token tenure resolves it.
+
+Figure 1 shows two writers (P1 and P2) racing for a block whose tokens
+are split between an owner and a sharer.  With naive token counting both
+writers wait forever for tokens that will never arrive.  Token tenure
+(Figure 2) fixes this: the home activates one racer at a time, untenured
+tokens time out and bounce to the home, and the home redirects them to
+the active requester.
+
+We reproduce the setup, race the writers through an adversarial network
+that delays and reorders messages, and show the tenure machinery firing:
+activations, probation discards, and home redirects.
+
+Run:  python examples/token_tenure_race.py
+"""
+
+import random
+
+from repro.config import SystemConfig
+from repro.core.system import System
+from repro.interconnect.network import RandomDelayNetwork
+from repro.sim.kernel import Simulator
+from repro.workloads.base import Access, WorkloadGenerator
+
+BLOCK = 100
+
+
+class Figure1Workload(WorkloadGenerator):
+    """Per-core scripts that reproduce the Figure 1 race.
+
+    Setup phase: P0 writes (collecting every token), P1 reads (tokens now
+    split between P0 and P1).  Race phase: P2 and P3 both write the block
+    while sending direct requests everywhere.
+    """
+
+    def __init__(self) -> None:
+        self._scripts = {
+            0: [Access(BLOCK, True, 0)] + [Access(900, False, 0)] * 2,
+            1: [Access(901, False, 600), Access(BLOCK, False, 0),
+                Access(902, False, 0)],
+            # The racers idle through the setup, then collide.
+            2: [Access(903, False, 1500), Access(904, False, 0),
+                Access(BLOCK, True, 0)],
+            3: [Access(905, False, 1500), Access(906, False, 0),
+                Access(BLOCK, True, 0)],
+        }
+        self._position = {core: 0 for core in self._scripts}
+
+    def next_access(self, core_id: int) -> Access:
+        index = self._position[core_id]
+        self._position[core_id] += 1
+        return self._scripts[core_id][index]
+
+
+def run_once(seed: int):
+    config = SystemConfig(num_cores=4, protocol="patch", predictor="all")
+    network = RandomDelayNetwork(Simulator(), 4, random.Random(seed),
+                                 min_delay=5, max_delay=90,
+                                 best_effort_drop_prob=0.2)
+    system = System(config, Figure1Workload(), references_per_core=3,
+                    network=network)
+    result = system.run(max_cycles=5_000_000)
+    home = system.homes[BLOCK % 4]
+    return {
+        "runtime": result.runtime_cycles,
+        "activations": home.stats.value("activations"),
+        "redirects": home.stats.value("tokens_redirected"),
+        "discards": sum(c.stats.value("probation_discards")
+                        for c in system.caches),
+        "ignored": sum(c.stats.value("direct_ignored_untenured")
+                       + c.stats.value("direct_ignored_window")
+                       for c in system.caches),
+        "dropped": result.dropped_direct_requests,
+    }
+
+
+def main() -> None:
+    print("Racing P2 and P3 for the block held by P0 (owner) and P1 "
+          "(sharer), direct requests everywhere, 20% of them dropped,\n"
+          "messages delayed by 5-90 cycles in arbitrary order.\n"
+          "Re-running the race under 12 different message schedules:\n")
+    totals = {"activations": 0, "redirects": 0, "discards": 0,
+              "ignored": 0, "dropped": 0}
+    header = (f"{'seed':>4} {'completed at':>12} {'redirects':>9} "
+              f"{'discards':>8} {'ignored':>8} {'dropped':>8}")
+    print(header)
+    for seed in range(12):
+        stats = run_once(seed)
+        print(f"{seed:>4} {stats['runtime']:>12} {stats['redirects']:>9} "
+              f"{stats['discards']:>8} {stats['ignored']:>8} "
+              f"{stats['dropped']:>8}")
+        for key in totals:
+            totals[key] += stats[key]
+
+    print("\nEvery schedule completed: nobody starved (the Figure-1 "
+          "deadlock cannot occur).")
+    print("Token-tenure machinery observed across the schedules:")
+    print(f"  tokens redirected by the home (Rule #5)  "
+          f"{totals['redirects']}")
+    print(f"  probation discards (Rule #4)             "
+          f"{totals['discards']}")
+    print(f"  direct requests ignored (Rules #6a/#6c)  "
+          f"{totals['ignored']}")
+    print(f"  best-effort direct requests dropped      "
+          f"{totals['dropped']}")
+    print("\nToken tenure provided forward progress without any broadcast "
+          "being required for correctness (the direct requests were "
+          "droppable hints).")
+
+
+if __name__ == "__main__":
+    main()

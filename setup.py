@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets `pip install -e .` work without the `wheel`
+package in this offline environment (setuptools falls back to the
+develop-install code path via --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

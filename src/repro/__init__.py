@@ -1,0 +1,42 @@
+"""repro: reproduction of "Token Tenure: PATCHing Token Counting Using
+Directory-Based Cache Coherence" (Raghavan, Blundell, Martin, MICRO-41,
+2008).
+
+The package provides:
+
+* three full coherence protocols — DIRECTORY (GEMS-style blocking MOESI+F
+  baseline), PATCH (the paper's contribution: directory + token counting +
+  token tenure + best-effort direct requests), and TokenB (broadcast token
+  coherence) — running on
+* an event-driven 2D-torus interconnect with priority virtual networks and
+  best-effort message dropping, plus
+* workload generators, destination-set predictors, invariant checkers, and
+  the experiment harness that regenerates every figure in the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import System, SystemConfig, make_workload
+
+    config = SystemConfig(num_cores=16, protocol="patch", predictor="all")
+    workload = make_workload("oltp", num_cores=16, seed=1)
+    result = System(config, workload, references_per_core=200).run()
+    print(result.summary())
+"""
+
+from repro import model
+from repro.config import SystemConfig, torus_dims_for
+from repro.core.results import RunResult
+from repro.core.runner import (PAPER_CONFIGS, compare_configs,
+                               normalized_runtimes, run_experiment, run_one)
+from repro.core.system import System
+from repro.workloads.presets import WORKLOAD_NAMES, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_CONFIGS", "RunResult", "System", "SystemConfig",
+    "WORKLOAD_NAMES", "__version__", "compare_configs", "make_workload",
+    "model", "normalized_runtimes", "run_experiment", "run_one",
+    "torus_dims_for",
+]

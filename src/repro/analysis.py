@@ -1,0 +1,79 @@
+"""Result presentation: text tables and ASCII charts.
+
+Used by the CLI, the examples, and the benchmark harness to print the
+paper-style tables and bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a title and rules."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = "\n".join("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths))
+                     for row in rows)
+    return f"{title}\n{rule}\n{line}\n{rule}\n{body}\n{rule}"
+
+
+def bar_chart(title: str, values: Mapping[str, float], width: int = 50,
+              reference: float = None) -> str:
+    """Horizontal ASCII bar chart; optionally mark a reference value."""
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        return f"{title}\n(all zero)"
+    label_width = max(len(str(label)) for label in values)
+    lines = [title]
+    for label, value in values.items():
+        length = max(1, round(value / peak * width))
+        bar = "#" * length
+        if reference is not None and 0 < reference <= peak:
+            mark = max(1, round(reference / peak * width)) - 1
+            if mark < len(bar):
+                bar = bar[:mark] + "|" + bar[mark + 1:]
+            else:
+                bar = bar + " " * (mark - len(bar)) + "|"
+        lines.append(f"  {str(label).ljust(label_width)}  {bar} "
+                     f"{value:.3f}")
+    return "\n".join(lines)
+
+
+def series_chart(title: str, x_values: Sequence[float],
+                 series: Mapping[str, Sequence[float]],
+                 height: int = 12, width: int = 60) -> str:
+    """Plot one or more y-series against shared x points (scatter-ish)."""
+    points = [(x, y, name)
+              for name, ys in series.items()
+              for x, y in zip(x_values, ys)]
+    if not points:
+        return f"{title}\n(no data)"
+    ys = [p[1] for p in points]
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    glyphs = {}
+    for index, name in enumerate(series):
+        glyphs[name] = chr(ord("A") + index)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, name in points:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = height - 1 - round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[row][col] = glyphs[name]
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in glyphs.items())
+    body = "\n".join(f"{y_max - (y_max - y_min) * i / (height - 1):8.3f} |"
+                     + "".join(row) for i, row in enumerate(grid))
+    x_axis = (" " * 10 + f"{x_min:<10.3g}" + " " * (width - 20)
+              + f"{x_max:>10.3g}")
+    return f"{title}\n{body}\n{x_axis}\n{legend}"

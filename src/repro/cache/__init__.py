@@ -1,0 +1,5 @@
+"""Set-associative cache substrate."""
+
+from repro.cache.array import CacheArray, CacheLine
+
+__all__ = ["CacheArray", "CacheLine"]

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+``repro`` (or ``python -m repro``) runs individual simulations and
+regenerates the paper's experiments from the shell:
+
+.. code-block:: console
+
+    repro run --protocol patch --predictor all --workload oltp
+    repro fig4 --cores 16 --refs 100
+    repro fig6 --workload ocean
+    repro fig8
+    repro fig9 --cores 64
+    repro list
+
+The figure subcommands print the same tables the benchmark suite
+produces (the benchmarks additionally assert the paper's claims).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import bar_chart, format_table
+from repro.config import PREDICTORS, PROTOCOLS, SystemConfig
+from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
+                               compare_configs, normalized_runtimes,
+                               normalized_traffic, run_one)
+from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
+                               encoding_sweep, scalability_sweep)
+from repro.stats.traffic import FIGURE5_ORDER
+from repro.workloads.presets import WORKLOAD_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=16,
+                        help="number of cores (default 16)")
+    parser.add_argument("--refs", type=int, default=100,
+                        help="references per core (default 100)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workload", default="oltp",
+                        choices=sorted(WORKLOAD_NAMES))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Token Tenure: PATCHing Token "
+                    "Counting Using Directory-Based Cache Coherence' "
+                    "(MICRO-41 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    _add_common(run)
+    run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
+    run.add_argument("--predictor", default="all", choices=PREDICTORS)
+    run.add_argument("--bandwidth", type=float, default=16.0,
+                     help="link bandwidth in bytes/cycle")
+    run.add_argument("--coarseness", type=int, default=1,
+                     help="sharer-encoding coarseness (cores per bit)")
+    run.add_argument("--non-adaptive", action="store_true",
+                     help="guaranteed (not best-effort) direct requests")
+
+    fig4 = sub.add_parser("fig4", help="Figure 4/5: runtime and traffic "
+                                       "across protocol configurations")
+    _add_common(fig4)
+    fig4.add_argument("--workloads", nargs="*",
+                      default=["jbb", "oltp", "apache", "barnes", "ocean"])
+
+    fig6 = sub.add_parser("fig6", help="Figure 6/7: bandwidth adaptivity")
+    _add_common(fig6)
+
+    fig8 = sub.add_parser("fig8", help="Figure 8: scalability sweep")
+    fig8.add_argument("--max-cores", type=int, default=64)
+
+    fig9 = sub.add_parser("fig9", help="Figure 9/10: inexact encodings")
+    fig9.add_argument("--cores", type=int, default=64)
+    fig9.add_argument("--refs", type=int, default=20)
+    fig9.add_argument("--bandwidth", type=float, default=2.0)
+    fig9.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list workloads and configurations")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_run(args) -> int:
+    config = SystemConfig(num_cores=args.cores, protocol=args.protocol,
+                          predictor=(args.predictor
+                                     if args.protocol == "patch" else "none"),
+                          link_bandwidth=args.bandwidth,
+                          encoding_coarseness=args.coarseness,
+                          best_effort_direct=not args.non_adaptive)
+    result = run_one(config, args.workload, references_per_core=args.refs,
+                     seed=args.seed)
+    print(result.summary())
+    print(bar_chart("traffic/miss by class (bytes)",
+                    {k: v for k, v in result.traffic_per_miss().items()
+                     if v}))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    base = SystemConfig(num_cores=args.cores)
+    labels = list(PAPER_CONFIGS)
+    runtime_rows = []
+    for workload in args.workloads:
+        results = compare_configs(base, workload,
+                                  references_per_core=args.refs,
+                                  seeds=(args.seed,))
+        normalized = normalized_runtimes(results)
+        runtime_rows.append([workload] + [f"{normalized[l]:.3f}"
+                                          for l in labels])
+        traffic = normalized_traffic(results)
+        traffic_rows = [[l, f"{sum(traffic[l].values()):.2f}"] +
+                        [f"{traffic[l][g]:.2f}" for g in FIGURE5_ORDER]
+                        for l in labels]
+        print(format_table(
+            f"Figure 5 [{workload}]: traffic/miss normalized to Directory",
+            ["config", "total"] + list(FIGURE5_ORDER), traffic_rows))
+        print()
+    print(format_table(
+        "Figure 4: runtime normalized to Directory",
+        ["workload"] + labels, runtime_rows))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    base = SystemConfig(num_cores=args.cores)
+    sweep = bandwidth_sweep(base, args.workload,
+                            references_per_core=args.refs,
+                            seeds=(args.seed,))
+    rows = []
+    for bandwidth, row in sweep.items():
+        base_rt = row["Directory"].runtime_mean
+        rows.append([f"{bandwidth * 1000:.0f}", "1.000",
+                     f"{row['PATCH-All-NA'].runtime_mean / base_rt:.3f}",
+                     f"{row['PATCH-All'].runtime_mean / base_rt:.3f}"])
+    print(format_table(
+        f"Figures 6/7 [{args.workload}]: runtime normalized to Directory",
+        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    core_counts = [n for n in (4, 8, 16, 32, 64, 128, 256, 512)
+                   if n <= args.max_cores]
+    refs = {4: 200, 8: 140, 16: 100, 32: 60, 64: 36, 128: 20, 256: 10,
+            512: 6}
+    base = SystemConfig(num_cores=4, link_bandwidth=2.0)
+    sweep = scalability_sweep(
+        base, core_counts=core_counts, references_for=refs, seeds=(1,),
+        workload_kwargs_for=lambda cores: {
+            "table_blocks": min(16 * 1024, 24 * cores)})
+    rows = []
+    for cores, row in sweep.items():
+        base_rt = row["Directory"].runtime_mean
+        rows.append([cores, "1.000",
+                     f"{row['PATCH-All-NA'].runtime_mean / base_rt:.3f}",
+                     f"{row['PATCH-All'].runtime_mean / base_rt:.3f}"])
+    print(format_table(
+        "Figure 8 [microbenchmark, 2B/cy]: runtime normalized to Directory",
+        ["cores", "Directory", "PATCH-All-NA", "PATCH-All"], rows))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    points = coarseness_points(args.cores)
+    base = SystemConfig(num_cores=4, link_bandwidth=args.bandwidth)
+    sweep = encoding_sweep(base, num_cores=args.cores,
+                           references_per_core=args.refs,
+                           coarseness_values=points, seeds=(args.seed,),
+                           table_blocks=6 * args.cores)
+    rows = []
+    for label in ("Directory", "PATCH"):
+        per_label = sweep[label]
+        base_rt = per_label[1].runtime_mean
+        base_tr = per_label[1].bytes_per_miss_mean
+        rows.append([f"{label} runtime"] +
+                    [f"{per_label[k].runtime_mean / base_rt:.3f}"
+                     for k in points])
+        rows.append([f"{label} traffic"] +
+                    [f"{per_label[k].bytes_per_miss_mean / base_tr:.2f}"
+                     for k in points])
+    print(format_table(
+        f"Figures 9/10 [{args.cores} cores, "
+        f"{args.bandwidth}B/cy]: normalized to full-map",
+        ["metric"] + [f"1:{k}" for k in points], rows))
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("Workloads:")
+    for name in sorted(WORKLOAD_NAMES):
+        print(f"  {name}")
+    print("\nFigure 4/5 configurations:")
+    for label, overrides in PAPER_CONFIGS.items():
+        print(f"  {label:24} {overrides}")
+    print("\nBandwidth-adaptivity configurations:")
+    for label, overrides in ADAPTIVITY_CONFIGS.items():
+        print(f"  {label:24} {overrides}")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "fig4": cmd_fig4,
+    "fig6": cmd_fig6,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Coherence fundamentals: MOESI states, token algebra, message vocabulary."""
+
+from repro.coherence.messages import (DIRECT_TYPES, FORWARD_TYPES,
+                                      REQUEST_TYPES, CoherenceMsg, MsgType,
+                                      next_txn_id)
+from repro.coherence.states import (DIRTY_STATES, OWNER_STATES, READABLE,
+                                    WRITABLE, CacheState, state_from_tokens,
+                                    tokens_consistent_with)
+from repro.coherence.tokens import (ZERO, TokenCount, TokenError,
+                                    initial_tokens, requires_data)
+
+__all__ = [
+    "CacheState", "CoherenceMsg", "DIRECT_TYPES", "DIRTY_STATES",
+    "FORWARD_TYPES", "MsgType", "OWNER_STATES", "READABLE", "REQUEST_TYPES",
+    "TokenCount", "TokenError", "WRITABLE", "ZERO", "initial_tokens",
+    "next_txn_id", "requires_data", "state_from_tokens",
+    "tokens_consistent_with",
+]

@@ -1,0 +1,76 @@
+"""Run results: runtime, traffic, latency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.stats.counters import RunningStat
+from repro.stats.traffic import FIGURE5_ORDER
+
+
+@dataclass
+class RunResult:
+    """Everything a single simulation run produced."""
+
+    config_summary: str
+    runtime_cycles: int
+    total_references: int
+    hits: int
+    misses: int
+    read_misses: int
+    write_misses: int
+    traffic_bytes: Dict[str, int]            # by Figure-5 group
+    traffic_bytes_raw: Dict[str, int]        # by MsgClass value
+    dropped_direct_requests: int
+    miss_latency: RunningStat
+    link_utilization: float
+    cache_stats: Dict[str, int]
+    home_stats: Dict[str, int]
+    events_processed: int
+
+    # ------------------------------------------------------------------
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.traffic_bytes.values())
+
+    @property
+    def bytes_per_miss(self) -> float:
+        return self.total_traffic_bytes / self.misses if self.misses else 0.0
+
+    @property
+    def avg_miss_latency(self) -> float:
+        return self.miss_latency.mean
+
+    def traffic_per_miss(self) -> Dict[str, float]:
+        """Figure-5 style breakdown: bytes per miss per message group."""
+        if not self.misses:
+            return {name: 0.0 for name in FIGURE5_ORDER}
+        return {name: self.traffic_bytes.get(name, 0) / self.misses
+                for name in FIGURE5_ORDER}
+
+    def summary(self) -> str:
+        groups = ", ".join(f"{name}={value / max(1, self.misses):.0f}B"
+                           for name, value in self.traffic_bytes.items()
+                           if value)
+        return (f"{self.config_summary}: {self.runtime_cycles} cycles, "
+                f"{self.misses} misses "
+                f"(avg latency {self.avg_miss_latency:.0f}cy), "
+                f"traffic/miss {self.bytes_per_miss:.0f}B [{groups}]")
+
+
+def normalized_runtime(result: RunResult, baseline: RunResult) -> float:
+    """Runtime normalized to a baseline run (the paper's headline metric)."""
+    if baseline.runtime_cycles <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return result.runtime_cycles / baseline.runtime_cycles
+
+
+def normalized_traffic(result: RunResult,
+                       baseline: RunResult) -> Dict[str, float]:
+    """Per-group traffic/miss normalized to the baseline's total (Fig. 5)."""
+    base = baseline.bytes_per_miss
+    if base <= 0:
+        raise ValueError("baseline traffic must be positive")
+    return {name: value / base
+            for name, value in result.traffic_per_miss().items()}

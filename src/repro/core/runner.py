@@ -1,0 +1,120 @@
+"""Experiment runner: seeded repetitions, confidence intervals, and the
+named protocol configurations used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.results import RunResult
+from repro.core.system import System
+from repro.stats.ci import ConfidenceInterval, t_interval
+from repro.workloads.presets import make_workload
+
+#: The six configurations of Figures 4 and 5, in the paper's order.
+PAPER_CONFIGS: Dict[str, dict] = {
+    "Directory": {"protocol": "directory"},
+    "PATCH-None": {"protocol": "patch", "predictor": "none"},
+    "PATCH-Owner": {"protocol": "patch", "predictor": "owner"},
+    "Broadcast-If-Shared": {"protocol": "patch",
+                            "predictor": "broadcast-if-shared"},
+    "PATCH-All": {"protocol": "patch", "predictor": "all"},
+    "Token Coherence": {"protocol": "tokenb"},
+}
+
+#: Bandwidth-adaptivity variants (Figures 6-8).
+ADAPTIVITY_CONFIGS: Dict[str, dict] = {
+    "Directory": {"protocol": "directory"},
+    "PATCH-All-NA": {"protocol": "patch", "predictor": "all",
+                     "best_effort_direct": False},
+    "PATCH-All": {"protocol": "patch", "predictor": "all",
+                  "best_effort_direct": True},
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated result of several seeded runs of one configuration."""
+
+    label: str
+    runs: List[RunResult]
+
+    @property
+    def runtime_ci(self) -> ConfidenceInterval:
+        return t_interval([run.runtime_cycles for run in self.runs])
+
+    @property
+    def runtime_mean(self) -> float:
+        return self.runtime_ci.mean
+
+    @property
+    def bytes_per_miss_mean(self) -> float:
+        values = [run.bytes_per_miss for run in self.runs]
+        return sum(values) / len(values)
+
+    def traffic_per_miss_mean(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for run in self.runs:
+            for name, value in run.traffic_per_miss().items():
+                totals[name] = totals.get(name, 0.0) + value
+        return {name: value / len(self.runs)
+                for name, value in totals.items()}
+
+
+def run_one(config: SystemConfig, workload_name: str,
+            references_per_core: int, seed: int = 1,
+            check_integrity: bool = True, **workload_kwargs) -> RunResult:
+    """Run a single seeded simulation."""
+    workload = make_workload(workload_name, num_cores=config.num_cores,
+                             seed=seed, **workload_kwargs)
+    system = System(config.with_updates(seed=seed), workload,
+                    references_per_core, check_integrity=check_integrity)
+    return system.run()
+
+
+def run_experiment(config: SystemConfig, workload_name: str,
+                   references_per_core: int,
+                   seeds: Sequence[int] = (1, 2, 3),
+                   label: Optional[str] = None,
+                   **workload_kwargs) -> ExperimentResult:
+    """Run one configuration across several seeds (paper methodology)."""
+    runs = [run_one(config, workload_name, references_per_core, seed,
+                    **workload_kwargs)
+            for seed in seeds]
+    return ExperimentResult(label or config.describe(), runs)
+
+
+def compare_configs(base_config: SystemConfig, workload_name: str,
+                    references_per_core: int,
+                    variants: Dict[str, dict] = PAPER_CONFIGS,
+                    seeds: Sequence[int] = (1, 2, 3),
+                    **workload_kwargs) -> Dict[str, ExperimentResult]:
+    """Run every named variant on one workload (one Figure-4 group)."""
+    results = {}
+    for label, overrides in variants.items():
+        config = base_config.with_updates(**overrides)
+        results[label] = run_experiment(config, workload_name,
+                                        references_per_core, seeds,
+                                        label=label, **workload_kwargs)
+    return results
+
+
+def normalized_runtimes(results: Dict[str, ExperimentResult],
+                        baseline: str = "Directory") -> Dict[str, float]:
+    """Mean runtimes normalized to the baseline configuration."""
+    base = results[baseline].runtime_mean
+    if base <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return {label: res.runtime_mean / base for label, res in results.items()}
+
+
+def normalized_traffic(results: Dict[str, ExperimentResult],
+                       baseline: str = "Directory") -> Dict[str, Dict[str, float]]:
+    """Traffic/miss per group normalized to the baseline's total (Fig 5)."""
+    base_total = results[baseline].bytes_per_miss_mean
+    if base_total <= 0:
+        raise ValueError("baseline traffic must be positive")
+    return {label: {name: value / base_total
+                    for name, value in res.traffic_per_miss_mean().items()}
+            for label, res in results.items()}

@@ -1,0 +1,104 @@
+"""Parameter sweeps behind Figures 6-10.
+
+Each sweep returns plain dict structures so benchmarks, examples, and the
+CLI can all print the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.config import SystemConfig
+from repro.core.runner import (ADAPTIVITY_CONFIGS, ExperimentResult,
+                               run_experiment)
+
+#: Link bandwidths of Figures 6/7, in bytes/cycle (the paper's axis is
+#: bytes per 1000 cycles: 300 ... 8000).
+BANDWIDTH_POINTS = (0.3, 0.6, 0.9, 2.0, 4.0, 8.0)
+
+#: Core counts of Figure 8.
+SCALABILITY_POINTS = (4, 8, 16, 32, 64, 128, 256, 512)
+
+#: Coarseness sweep of Figures 9/10 for a given core count.
+def coarseness_points(num_cores: int) -> List[int]:
+    points = []
+    k = 1
+    while k < num_cores:
+        points.append(k)
+        k *= 4
+    points.append(num_cores)
+    return points
+
+
+def bandwidth_sweep(base_config: SystemConfig, workload_name: str,
+                    references_per_core: int,
+                    bandwidths: Sequence[float] = BANDWIDTH_POINTS,
+                    seeds: Sequence[int] = (1, 2),
+                    variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                    ) -> Dict[float, Dict[str, ExperimentResult]]:
+    """Runtime vs link bandwidth (Figures 6 and 7)."""
+    sweep: Dict[float, Dict[str, ExperimentResult]] = {}
+    for bandwidth in bandwidths:
+        row = {}
+        for label, overrides in variants.items():
+            config = base_config.with_updates(link_bandwidth=bandwidth,
+                                              **overrides)
+            row[label] = run_experiment(config, workload_name,
+                                        references_per_core, seeds,
+                                        label=label)
+        sweep[bandwidth] = row
+    return sweep
+
+
+def scalability_sweep(base_config: SystemConfig,
+                      core_counts: Sequence[int],
+                      references_for: Dict[int, int],
+                      seeds: Sequence[int] = (1,),
+                      variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                      workload_name: str = "microbench",
+                      workload_kwargs_for=None,
+                      ) -> Dict[int, Dict[str, ExperimentResult]]:
+    """Runtime vs core count on the microbenchmark (Figure 8).
+
+    ``references_for`` maps each core count to its per-core reference
+    quota (scaled down at large N to keep simulation cost sane; the
+    runtime metric is normalized per configuration so the comparison
+    stands).  ``workload_kwargs_for`` optionally maps a core count to
+    extra workload-constructor arguments (e.g. scaling the
+    microbenchmark's table with N so block reuse stays constant across
+    the sweep despite the shrinking reference quotas).
+    """
+    sweep: Dict[int, Dict[str, ExperimentResult]] = {}
+    for cores in core_counts:
+        row = {}
+        refs = references_for[cores]
+        kwargs = workload_kwargs_for(cores) if workload_kwargs_for else {}
+        for label, overrides in variants.items():
+            config = base_config.with_updates(num_cores=cores,
+                                              torus_dims=None, **overrides)
+            row[label] = run_experiment(config, workload_name, refs, seeds,
+                                        label=label, **kwargs)
+        sweep[cores] = row
+    return sweep
+
+
+def encoding_sweep(base_config: SystemConfig, num_cores: int,
+                   references_per_core: int,
+                   coarseness_values: Sequence[int],
+                   seeds: Sequence[int] = (1,),
+                   workload_name: str = "microbench",
+                   **workload_kwargs,
+                   ) -> Dict[str, Dict[int, ExperimentResult]]:
+    """Runtime/traffic vs sharer-encoding coarseness (Figures 9 and 10)."""
+    sweep: Dict[str, Dict[int, ExperimentResult]] = {
+        "Directory": {}, "PATCH": {}}
+    for coarseness in coarseness_values:
+        for label, protocol in (("Directory", "directory"),
+                                ("PATCH", "patch")):
+            config = base_config.with_updates(
+                num_cores=num_cores, torus_dims=None, protocol=protocol,
+                predictor="none", encoding_coarseness=coarseness)
+            sweep[label][coarseness] = run_experiment(
+                config, workload_name, references_per_core, seeds,
+                label=f"{label}-1:{coarseness}", **workload_kwargs)
+    return sweep

@@ -1,0 +1,5 @@
+"""Simple in-order core model."""
+
+from repro.cpu.core import Core
+
+__all__ = ["Core"]

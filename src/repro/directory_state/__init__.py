@@ -1,0 +1,8 @@
+"""Directory sharer-set encodings (full map and coarse vector)."""
+
+from repro.directory_state.encodings import (CoarseVector, FullMap,
+                                             SharerEncoding, inexactness,
+                                             make_encoding)
+
+__all__ = ["CoarseVector", "FullMap", "SharerEncoding", "inexactness",
+           "make_encoding"]

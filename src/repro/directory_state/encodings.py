@@ -1,0 +1,143 @@
+"""Directory sharer-set encodings (paper Section 8.5).
+
+The directory always records the owner exactly (log N bits), so read
+requests are always forwarded precisely.  Sharer information is encoded
+either as a full-map bit vector (exact, K=1) or as a coarse vector mapping
+one bit to K cores.  Coarse vectors return conservative *supersets* when
+read back, which is what creates the unnecessary forwarded requests and
+acknowledgements the paper measures in Figures 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+class SharerEncoding:
+    """Interface for sharer-set encodings."""
+
+    def add(self, core: int) -> None:
+        raise NotImplementedError
+
+    def remove(self, core: int) -> None:
+        """Remove a core if the encoding can express the removal exactly.
+
+        Coarse encodings may keep the core's group bit set when other group
+        members are sharers; the encoding must stay a superset.
+        """
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def sharers(self) -> Set[int]:
+        """A conservative superset of the cores added (minus exact removes)."""
+        raise NotImplementedError
+
+    def might_contain(self, core: int) -> bool:
+        raise NotImplementedError
+
+    @property
+    def bits(self) -> int:
+        """Storage cost in bits (reported in scaling studies)."""
+        raise NotImplementedError
+
+
+class FullMap(SharerEncoding):
+    """Exact full-map bit vector: one bit per core."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        self.num_cores = num_cores
+        self._set: Set[int] = set()
+
+    def _check(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+
+    def add(self, core: int) -> None:
+        self._check(core)
+        self._set.add(core)
+
+    def remove(self, core: int) -> None:
+        self._check(core)
+        self._set.discard(core)
+
+    def clear(self) -> None:
+        self._set.clear()
+
+    def sharers(self) -> Set[int]:
+        return set(self._set)
+
+    def might_contain(self, core: int) -> bool:
+        self._check(core)
+        return core in self._set
+
+    @property
+    def bits(self) -> int:
+        return self.num_cores
+
+
+class CoarseVector(SharerEncoding):
+    """Coarse bit vector: one bit covers ``coarseness`` consecutive cores.
+
+    With coarseness == num_cores this degenerates to the single-bit
+    directory the Virtual Hierarchies work used (paper Section 7).
+    """
+
+    def __init__(self, num_cores: int, coarseness: int) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        if not 1 <= coarseness <= num_cores:
+            raise ValueError("coarseness must be in [1, num_cores]")
+        self.num_cores = num_cores
+        self.coarseness = coarseness
+        self._groups: Set[int] = set()
+        # Exact per-group membership counts let us clear a group bit when
+        # the *tracked* membership drains; a real coarse directory cannot,
+        # so removals only happen via clear().  We keep the pessimistic
+        # hardware behaviour: remove() is a no-op unless coarseness == 1.
+
+    def _group(self, core: int) -> int:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range")
+        return core // self.coarseness
+
+    def add(self, core: int) -> None:
+        self._groups.add(self._group(core))
+
+    def remove(self, core: int) -> None:
+        if self.coarseness == 1:
+            self._groups.discard(self._group(core))
+        # Otherwise: cannot express single-core removal; stay a superset.
+
+    def clear(self) -> None:
+        self._groups.clear()
+
+    def sharers(self) -> Set[int]:
+        result: Set[int] = set()
+        for group in self._groups:
+            start = group * self.coarseness
+            result.update(range(start, min(start + self.coarseness,
+                                           self.num_cores)))
+        return result
+
+    def might_contain(self, core: int) -> bool:
+        return self._group(core) in self._groups
+
+    @property
+    def bits(self) -> int:
+        return (self.num_cores + self.coarseness - 1) // self.coarseness
+
+
+def make_encoding(num_cores: int, coarseness: int) -> SharerEncoding:
+    """Factory used by the home controllers."""
+    if coarseness == 1:
+        return FullMap(num_cores)
+    return CoarseVector(num_cores, coarseness)
+
+
+def inexactness(encoding: SharerEncoding, true_sharers: Iterable[int]) -> int:
+    """How many extra (false-positive) cores the encoding names."""
+    return len(encoding.sharers() - set(true_sharers))

@@ -1,0 +1,12 @@
+"""Interconnect: messages, 2D-torus topology, event-driven link models."""
+
+from repro.interconnect.message import Message, Priority
+from repro.interconnect.network import (LOCAL_DELIVERY_LATENCY,
+                                        NetworkInterface, RandomDelayNetwork,
+                                        TorusNetwork)
+from repro.interconnect.topology import Torus2D
+
+__all__ = [
+    "LOCAL_DELIVERY_LATENCY", "Message", "NetworkInterface", "Priority",
+    "RandomDelayNetwork", "Torus2D", "TorusNetwork",
+]

@@ -1,0 +1,271 @@
+"""Event-driven interconnect models.
+
+:class:`TorusNetwork` is the detailed model used for all paper experiments:
+every directed link is a bandwidth server with two priority FIFOs.  Normal
+traffic is always served first; best-effort messages (PATCH's direct
+requests) are served only when no normal message is waiting, and are
+*dropped* if they have been queued longer than the configured drop age —
+implementing the paper's "deprioritize and discard if stale" policy that
+gives PATCH its do-no-harm guarantee.
+
+:class:`RandomDelayNetwork` is an adversarial model for correctness tests:
+it delivers messages with random, unordered delays and can drop best-effort
+messages with configurable probability.  Coherence safety and forward
+progress must hold on it, since PATCH requires no interconnect ordering.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.interconnect.message import Message, Priority
+from repro.interconnect.topology import Torus2D
+from repro.sim.kernel import Simulator
+from repro.stats.traffic import TrafficMeter
+
+Handler = Callable[[Message], None]
+
+#: Delivery latency for a node sending a message to itself (cache to its
+#: co-located home slice); charged no link traffic.
+LOCAL_DELIVERY_LATENCY = 1
+
+
+class NetworkInterface:
+    """Common API both network models implement."""
+
+    meter: TrafficMeter
+
+    def register_endpoint(self, node: int, handler: Handler) -> None:
+        raise NotImplementedError
+
+    def send(self, msg: Message) -> None:
+        raise NotImplementedError
+
+
+class _Hop:
+    """A message traversing the network hop-by-hop.
+
+    ``tree`` is the multicast fan-out tree (node -> children) when the
+    message has several destinations; for unicast it is None and
+    ``final_dest`` guides dimension-order forwarding.
+    """
+
+    __slots__ = ("inner", "final_dest", "tree", "deliver_set")
+
+    def __init__(self, inner: Message, final_dest: Optional[int] = None,
+                 tree: Optional[Dict[int, List[int]]] = None,
+                 deliver_set: Optional[frozenset] = None) -> None:
+        self.inner = inner
+        self.final_dest = final_dest
+        self.tree = tree
+        self.deliver_set = deliver_set
+
+    @property
+    def priority(self) -> Priority:
+        return self.inner.priority
+
+    @property
+    def size_bytes(self) -> int:
+        return self.inner.size_bytes
+
+    @property
+    def msg_class(self):
+        return self.inner.msg_class
+
+
+class _LinkServer:
+    """One directed link: fixed per-hop latency plus serialization at
+    ``bandwidth`` bytes/cycle, two priority FIFOs, stale-drop for
+    best-effort traffic."""
+
+    __slots__ = ("network", "src", "dst", "normal", "best_effort",
+                 "busy_until", "_active", "busy_cycles")
+
+    def __init__(self, network: "TorusNetwork", src: int, dst: int) -> None:
+        self.network = network
+        self.src = src
+        self.dst = dst
+        # Each queue entry: (hop, enqueue_time)
+        self.normal: Deque[Tuple[_Hop, int]] = deque()
+        self.best_effort: Deque[Tuple[_Hop, int]] = deque()
+        self.busy_until = 0
+        self._active = False
+        self.busy_cycles = 0
+
+    def enqueue(self, hop: _Hop) -> None:
+        now = self.network.sim.now
+        queue = (self.best_effort if hop.priority == Priority.BEST_EFFORT
+                 else self.normal)
+        queue.append((hop, now))
+        if not self._active:
+            self._activate()
+
+    def _activate(self) -> None:
+        self._active = True
+        delay = max(0, self.busy_until - self.network.sim.now)
+        self.network.sim.schedule(delay, self._serve)
+
+    def _serve(self) -> None:
+        """Transmit the highest-priority queued hop, if any."""
+        sim = self.network.sim
+        hop = self._pick()
+        if hop is None:
+            self._active = False
+            return
+        duration = max(1, math.ceil(hop.size_bytes / self.network.bandwidth))
+        self.busy_until = sim.now + duration
+        self.busy_cycles += duration
+        self.network.meter.record_traversal(hop.msg_class, hop.size_bytes)
+        arrival_delay = duration + self.network.hop_latency
+        sim.schedule(arrival_delay,
+                     lambda h=hop: self.network._arrive(h, self.dst))
+        sim.schedule(duration, self._serve)
+
+    def _pick(self) -> Optional[_Hop]:
+        """Next hop to send: normal first; stale best-effort dropped."""
+        if self.normal:
+            return self.normal.popleft()[0]
+        now = self.network.sim.now
+        drop_age = self.network.drop_age
+        while self.best_effort:
+            hop, enqueued = self.best_effort.popleft()
+            if drop_age is not None and now - enqueued > drop_age:
+                self.network.meter.record_drop(hop.size_bytes)
+                continue
+            return hop
+        return None
+
+
+class TorusNetwork(NetworkInterface):
+    """The detailed 2D-torus interconnect model."""
+
+    def __init__(self, sim: Simulator, topology: Torus2D,
+                 bandwidth: float, hop_latency: int,
+                 drop_age: Optional[int] = 100) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if hop_latency < 1:
+            raise ValueError("hop_latency must be >= 1")
+        self.sim = sim
+        self.topology = topology
+        self.bandwidth = bandwidth
+        self.hop_latency = hop_latency
+        self.drop_age = drop_age
+        self.meter = TrafficMeter()
+        self._endpoints: Dict[int, Handler] = {}
+        self._links: Dict[Tuple[int, int], _LinkServer] = {
+            link: _LinkServer(self, *link) for link in topology.links()}
+
+    # ------------------------------------------------------------------
+    def register_endpoint(self, node: int, handler: Handler) -> None:
+        if node in self._endpoints:
+            raise ValueError(f"endpoint {node} already registered")
+        self._endpoints[node] = handler
+
+    def send(self, msg: Message) -> None:
+        """Inject a message at its source node."""
+        msg.inject_time = self.sim.now
+        self.meter.record_message(msg.msg_class)
+        dests = tuple(dict.fromkeys(msg.dests))  # dedupe, keep order
+        if msg.src in dests:
+            self.sim.schedule(LOCAL_DELIVERY_LATENCY,
+                              lambda m=msg: self._deliver(m, m.src))
+        remote = [d for d in dests if d != msg.src]
+        if not remote:
+            return
+        if len(remote) == 1:
+            hop = _Hop(msg, final_dest=remote[0])
+            self._forward_unicast(hop, msg.src)
+        else:
+            tree = self.topology.multicast_tree(msg.src, remote)
+            hop = _Hop(msg, tree=tree, deliver_set=frozenset(remote))
+            self._fanout(hop, msg.src)
+
+    # ------------------------------------------------------------------
+    def _forward_unicast(self, hop: _Hop, node: int) -> None:
+        next_node = self.topology.next_hop(node, hop.final_dest)
+        self._links[(node, next_node)].enqueue(hop)
+
+    def _fanout(self, hop: _Hop, node: int) -> None:
+        """Send multicast copies down each tree edge out of ``node``.
+
+        Children share the original message but get their own hop record
+        per tree edge, so bandwidth is charged once per edge.
+        """
+        for child in hop.tree.get(node, ()):
+            self._links[(node, child)].enqueue(
+                _Hop(hop.inner, tree=hop.tree, deliver_set=hop.deliver_set))
+
+    def _arrive(self, hop: _Hop, node: int) -> None:
+        if hop.tree is None:
+            if node == hop.final_dest:
+                self._deliver(hop.inner, node)
+            else:
+                self._forward_unicast(hop, node)
+            return
+        if node in hop.deliver_set:
+            self._deliver(hop.inner, node)
+        self._fanout(hop, node)
+
+    def _deliver(self, msg: Message, node: int) -> None:
+        handler = self._endpoints.get(node)
+        if handler is None:
+            raise RuntimeError(f"no endpoint registered at node {node}")
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Mean fraction of elapsed cycles each link spent transmitting."""
+        if self.sim.now == 0 or not self._links:
+            return 0.0
+        total = sum(link.busy_cycles for link in self._links.values())
+        return total / (len(self._links) * self.sim.now)
+
+
+class RandomDelayNetwork(NetworkInterface):
+    """Adversarial network: random unordered delays, optional drops.
+
+    Used by correctness tests; charges traffic per logical destination.
+    """
+
+    def __init__(self, sim: Simulator, num_nodes: int, rng: random.Random,
+                 min_delay: int = 1, max_delay: int = 80,
+                 best_effort_drop_prob: float = 0.0) -> None:
+        if min_delay < 1 or max_delay < min_delay:
+            raise ValueError("need 1 <= min_delay <= max_delay")
+        if not 0.0 <= best_effort_drop_prob <= 1.0:
+            raise ValueError("drop probability must be in [0, 1]")
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.rng = rng
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.best_effort_drop_prob = best_effort_drop_prob
+        self.meter = TrafficMeter()
+        self._endpoints: Dict[int, Handler] = {}
+
+    def register_endpoint(self, node: int, handler: Handler) -> None:
+        if node in self._endpoints:
+            raise ValueError(f"endpoint {node} already registered")
+        self._endpoints[node] = handler
+
+    def send(self, msg: Message) -> None:
+        msg.inject_time = self.sim.now
+        self.meter.record_message(msg.msg_class)
+        for dest in dict.fromkeys(msg.dests):
+            if (msg.priority == Priority.BEST_EFFORT
+                    and self.rng.random() < self.best_effort_drop_prob):
+                self.meter.record_drop(msg.size_bytes)
+                continue
+            if dest == msg.src:
+                delay = LOCAL_DELIVERY_LATENCY
+            else:
+                delay = self.rng.randint(self.min_delay, self.max_delay)
+                self.meter.record_traversal(msg.msg_class, msg.size_bytes)
+            handler = self._endpoints.get(dest)
+            if handler is None:
+                raise RuntimeError(f"no endpoint registered at node {dest}")
+            self.sim.schedule(delay, lambda m=msg, h=handler: h(m))

@@ -1,0 +1,126 @@
+"""2D torus topology with dimension-order routing and multicast trees.
+
+The paper's system uses a 2D torus with efficient multicast routing
+(Section 8.1).  We route dimension-order (X then Y), taking the shorter
+wrap direction in each dimension, and build multicast trees by merging the
+dimension-order unicast paths — which yields the classic "row then column"
+fan-out tree where every tree edge carries the message exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Coord = Tuple[int, int]
+Link = Tuple[int, int]  # (from_node, to_node), directed
+
+
+class Torus2D:
+    """A ``width`` x ``height`` torus of nodes numbered row-major."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("torus dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.num_nodes = width * height
+
+    # ------------------------------------------------------------------
+    def coord(self, node: int) -> Coord:
+        self._check(node)
+        return (node % self.width, node // self.width)
+
+    def node_at(self, x: int, y: int) -> int:
+        return (y % self.height) * self.width + (x % self.width)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} outside torus of {self.num_nodes}")
+
+    # ------------------------------------------------------------------
+    def _step(self, position: int, target: int, size: int) -> int:
+        """One hop along a ring of ``size`` taking the shorter direction.
+
+        Ties (exactly half way) go in the positive direction.
+        """
+        if position == target:
+            return position
+        forward = (target - position) % size
+        backward = (position - target) % size
+        return (position + 1) % size if forward <= backward else (position - 1) % size
+
+    def next_hop(self, node: int, dest: int) -> int:
+        """Dimension-order (X then Y) next hop from ``node`` toward ``dest``."""
+        self._check(node)
+        self._check(dest)
+        x, y = self.coord(node)
+        dx, dy = self.coord(dest)
+        if x != dx:
+            return self.node_at(self._step(x, dx, self.width), y)
+        if y != dy:
+            return self.node_at(x, self._step(y, dy, self.height))
+        return node
+
+    def route(self, src: int, dest: int) -> List[int]:
+        """Full path ``[src, ..., dest]`` under dimension-order routing."""
+        path = [src]
+        node = src
+        while node != dest:
+            node = self.next_hop(node, dest)
+            path.append(node)
+        return path
+
+    def hop_count(self, src: int, dest: int) -> int:
+        x, y = self.coord(src)
+        dx, dy = self.coord(dest)
+        ring = lambda a, b, size: min((b - a) % size, (a - b) % size)
+        return ring(x, dx, self.width) + ring(y, dy, self.height)
+
+    def average_hop_count(self) -> float:
+        """Mean hops between distinct node pairs (uniform traffic)."""
+        if self.num_nodes == 1:
+            return 0.0
+        total = sum(self.hop_count(0, d) for d in range(self.num_nodes))
+        return total * self.num_nodes / (self.num_nodes * (self.num_nodes - 1))
+
+    # ------------------------------------------------------------------
+    def links(self) -> List[Link]:
+        """All directed links (4 per node on a real torus; rings of width
+        or height <= 2 deduplicate the two directions)."""
+        seen = set()
+        result: List[Link] = []
+        for node in range(self.num_nodes):
+            x, y = self.coord(node)
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                neighbor = self.node_at(nx, ny)
+                if neighbor == node:
+                    continue
+                link = (node, neighbor)
+                if link not in seen:
+                    seen.add(link)
+                    result.append(link)
+        return result
+
+    def multicast_tree(self, src: int,
+                       dests: Sequence[int]) -> Dict[int, List[int]]:
+        """Fan-out tree: node -> children, merging dimension-order paths.
+
+        Every edge appears once no matter how many destinations lie past
+        it, modelling the paper's bandwidth-efficient fan-out multicast.
+        """
+        children: Dict[int, List[int]] = {}
+        in_tree = {src}
+        for dest in dests:
+            if dest == src:
+                continue
+            path = self.route(src, dest)
+            for parent, child in zip(path, path[1:]):
+                if child in in_tree:
+                    continue
+                children.setdefault(parent, []).append(child)
+                in_tree.add(child)
+        return children
+
+    @staticmethod
+    def tree_edge_count(children: Dict[int, List[int]]) -> int:
+        return sum(len(kids) for kids in children.values())

@@ -1,0 +1,99 @@
+"""Analytical models from the paper's Section 7.
+
+The paper argues PATCH out-scales DIRECTORY under inexact encodings with
+a worst-case traffic bound: on an N-processor D-dimensional torus with
+fan-out multicast, an all-false-positive invalidation costs
+
+* DIRECTORY:  N (forwarded requests, one per multicast tree edge)
+              + N * D-th-root(N) (acknowledgements, each traveling up to
+              the torus diameter ~ D * N^(1/D) / 2 hops, i.e. O(N^(1/D))
+              hops each for N acks);
+* PATCH:      N (forwarded requests only — non-holders send nothing).
+
+These closed forms let users size directory encodings before simulating;
+the simulator's measured Figure-10 traffic follows the same asymptotics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorstCaseTraffic:
+    """Per-miss worst-case unnecessary message traversals."""
+
+    forwards: float
+    acks: float
+
+    @property
+    def total(self) -> float:
+        return self.forwards + self.acks
+
+
+def torus_diameter_hops(num_cores: int, dimensions: int = 2) -> float:
+    """Approximate hop distance an acknowledgement travels on a
+    D-dimensional torus: D rings of N^(1/D) nodes, half-way each."""
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    side = num_cores ** (1.0 / dimensions)
+    return dimensions * side / 2.0
+
+
+def directory_worst_case(num_cores: int,
+                         dimensions: int = 2) -> WorstCaseTraffic:
+    """Paper Section 7: DIRECTORY's worst-case unnecessary traffic is
+    N (multicast forward edges) + N * D-th-root(N) (ack traversals)."""
+    forwards = float(num_cores)                       # tree edges
+    acks = num_cores * num_cores ** (1.0 / dimensions)
+    return WorstCaseTraffic(forwards=forwards, acks=acks)
+
+
+def patch_worst_case(num_cores: int,
+                     dimensions: int = 2) -> WorstCaseTraffic:
+    """PATCH sends the same multicast forwards but zero unnecessary
+    acknowledgements (only token holders respond)."""
+    return WorstCaseTraffic(forwards=float(num_cores), acks=0.0)
+
+
+def scaling_advantage(num_cores: int, dimensions: int = 2) -> float:
+    """DIRECTORY's worst-case unnecessary traffic divided by PATCH's.
+
+    Grows as Theta(N^(1/D)): the paper's scaling argument in one number.
+
+    >>> round(scaling_advantage(256), 1)
+    17.0
+    """
+    directory = directory_worst_case(num_cores, dimensions)
+    patch = patch_worst_case(num_cores, dimensions)
+    return directory.total / patch.total
+
+
+def full_map_bits(num_cores: int) -> int:
+    """Directory-entry bits for an exact full-map encoding."""
+    return num_cores
+
+
+def coarse_bits(num_cores: int, coarseness: int) -> int:
+    """Directory-entry bits for a coarse (K cores/bit) encoding."""
+    if not 1 <= coarseness <= num_cores:
+        raise ValueError("coarseness must be in [1, num_cores]")
+    return math.ceil(num_cores / coarseness)
+
+
+def token_count_bits(num_cores: int) -> int:
+    """Bits to encode a token count: log2(N) plus owner + dirty flags
+    (paper Section 5.2: 'ten bits would comfortably hold the token state
+    for a 256-core system')."""
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    return max(1, math.ceil(math.log2(num_cores + 1))) + 2
+
+
+def token_state_overhead(num_cores: int, block_bytes: int = 64) -> float:
+    """Fractional cache/message overhead of carrying token state
+    (paper: ~2% for 64-byte blocks at 256 cores)."""
+    return token_count_bits(num_cores) / (block_bytes * 8)

@@ -1,0 +1,12 @@
+"""Destination-set prediction for PATCH's direct requests."""
+
+from repro.prediction.predictors import (AllPredictor,
+                                         BashThrottledPredictor,
+                                         BroadcastIfSharedPredictor,
+                                         GroupPredictor, NonePredictor,
+                                         OwnerPredictor, Predictor,
+                                         make_predictor)
+
+__all__ = ["AllPredictor", "BashThrottledPredictor",
+           "BroadcastIfSharedPredictor", "GroupPredictor", "NonePredictor",
+           "OwnerPredictor", "Predictor", "make_predictor"]

@@ -1,0 +1,228 @@
+"""Destination-set predictors (paper Section 6, predictors from [19]).
+
+PATCH sends its indirect request to the home on every miss; the predictor
+chooses which *direct* requests to add.  The predictors are taken from
+Martin et al.'s destination-set prediction work, as the paper does:
+
+* ``none`` — no direct requests (PATCH-NONE: pure directory behaviour).
+* ``owner`` — one direct request to the predicted owner (PATCH-OWNER).
+* ``broadcast-if-shared`` — direct requests to all other cores for blocks
+  observed to be shared recently (PATCH-BROADCASTIFSHARED).
+* ``all`` — direct requests to everyone on every miss (PATCH-ALL).
+
+Table-based predictors use 8192 entries indexed by 1024-byte macroblock
+(paper Section 8.3), trained from incoming data responses (the sender was
+the previous owner) and from other processors' requests we observe
+(evidence of sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class Predictor:
+    """Interface: predict a destination set, learn from traffic."""
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        raise NotImplementedError
+
+    def record_owner(self, block: int, owner: int) -> None:
+        """A data response arrived from ``owner``."""
+
+    def record_foreign_request(self, block: int, requester: int) -> None:
+        """We observed another core's (direct or forwarded) request."""
+
+
+class NonePredictor(Predictor):
+    """Never sends direct requests (PATCH-NONE)."""
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        return set()
+
+
+class AllPredictor(Predictor):
+    """Direct requests to every other core (PATCH-ALL)."""
+
+    def __init__(self, num_cores: int, self_id: int) -> None:
+        self.num_cores = num_cores
+        self.self_id = self_id
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        return {n for n in range(self.num_cores) if n != self.self_id}
+
+
+class _MacroblockTable:
+    """Direct-mapped prediction table with macroblock indexing."""
+
+    def __init__(self, entries: int, macroblock_bytes: int,
+                 block_bytes: int) -> None:
+        if entries < 1:
+            raise ValueError("need at least one table entry")
+        self.entries = entries
+        self.blocks_per_macroblock = max(
+            1, macroblock_bytes // block_bytes)
+        self._table: Dict[int, dict] = {}
+
+    def index(self, block: int) -> int:
+        return (block // self.blocks_per_macroblock) % self.entries
+
+    def lookup(self, block: int) -> Optional[dict]:
+        entry = self._table.get(self.index(block))
+        if entry is None:
+            return None
+        if entry["macroblock"] != block // self.blocks_per_macroblock:
+            return None  # direct-mapped conflict: treat as miss
+        return entry
+
+    def update(self, block: int) -> dict:
+        index = self.index(block)
+        macroblock = block // self.blocks_per_macroblock
+        entry = self._table.get(index)
+        if entry is None or entry["macroblock"] != macroblock:
+            entry = {"macroblock": macroblock, "owner": None, "shared": False}
+            self._table[index] = entry
+        return entry
+
+
+class OwnerPredictor(Predictor):
+    """Predicts the last observed owner of the macroblock (PATCH-OWNER)."""
+
+    def __init__(self, num_cores: int, self_id: int, entries: int = 8192,
+                 macroblock_bytes: int = 1024, block_bytes: int = 64) -> None:
+        self.self_id = self_id
+        self.table = _MacroblockTable(entries, macroblock_bytes, block_bytes)
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        entry = self.table.lookup(block)
+        if entry is None or entry["owner"] in (None, self.self_id):
+            return set()
+        return {entry["owner"]}
+
+    def record_owner(self, block: int, owner: int) -> None:
+        self.table.update(block)["owner"] = owner
+
+    def record_foreign_request(self, block: int, requester: int) -> None:
+        # The requester will become the owner (ownership transfers on
+        # both read and write misses in the underlying protocol).
+        self.table.update(block)["owner"] = requester
+
+
+class BroadcastIfSharedPredictor(Predictor):
+    """Broadcasts for recently shared macroblocks, else stays quiet."""
+
+    def __init__(self, num_cores: int, self_id: int, entries: int = 8192,
+                 macroblock_bytes: int = 1024, block_bytes: int = 64) -> None:
+        self.num_cores = num_cores
+        self.self_id = self_id
+        self.table = _MacroblockTable(entries, macroblock_bytes, block_bytes)
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        entry = self.table.lookup(block)
+        if entry is None or not entry["shared"]:
+            return set()
+        return {n for n in range(self.num_cores) if n != self.self_id}
+
+    def record_owner(self, block: int, owner: int) -> None:
+        entry = self.table.update(block)
+        entry["owner"] = owner
+        if owner != self.self_id:
+            entry["shared"] = True   # data came from another cache
+
+    def record_foreign_request(self, block: int, requester: int) -> None:
+        entry = self.table.update(block)
+        entry["shared"] = True       # someone else touches this macroblock
+
+
+class GroupPredictor(Predictor):
+    """Predicts the set of recently observed sharers of the macroblock
+    (the "Group" predictor of Martin et al. [19]): direct requests go to
+    every core seen touching the macroblock recently, rather than to
+    everyone or to a single owner."""
+
+    def __init__(self, num_cores: int, self_id: int, entries: int = 8192,
+                 macroblock_bytes: int = 1024, block_bytes: int = 64,
+                 max_group: int = 8) -> None:
+        self.num_cores = num_cores
+        self.self_id = self_id
+        self.max_group = max_group
+        self.table = _MacroblockTable(entries, macroblock_bytes, block_bytes)
+
+    def _group(self, block: int) -> Optional[List[int]]:
+        entry = self.table.lookup(block)
+        if entry is None:
+            return None
+        return entry.setdefault("group", [])
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        group = self._group(block)
+        if not group:
+            return set()
+        return {core for core in group if core != self.self_id}
+
+    def _remember(self, block: int, core: int) -> None:
+        entry = self.table.update(block)
+        group = entry.setdefault("group", [])
+        if core in group:
+            group.remove(core)
+        group.append(core)           # most-recent-last
+        if len(group) > self.max_group:
+            group.pop(0)
+
+    def record_owner(self, block: int, owner: int) -> None:
+        self._remember(block, owner)
+
+    def record_foreign_request(self, block: int, requester: int) -> None:
+        self._remember(block, requester)
+
+
+class BashThrottledPredictor(Predictor):
+    """All-or-nothing bandwidth throttling around another predictor.
+
+    Models BASH's adaptivity (paper Section 6's comparison point): when a
+    local estimate of interconnect utilization exceeds ``threshold``, stop
+    sending direct requests entirely; below it, delegate to the inner
+    predictor.  Unlike PATCH's best-effort delivery this decides at issue
+    time, which is exactly the mechanism the paper argues is inferior.
+    """
+
+    def __init__(self, inner: Predictor, utilization_source,
+                 threshold: float = 0.35) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.inner = inner
+        self.utilization_source = utilization_source
+        self.threshold = threshold
+        self.throttled_predictions = 0
+
+    def predict(self, block: int, is_write: bool) -> Set[int]:
+        if self.utilization_source() > self.threshold:
+            self.throttled_predictions += 1
+            return set()
+        return self.inner.predict(block, is_write)
+
+    def record_owner(self, block: int, owner: int) -> None:
+        self.inner.record_owner(block, owner)
+
+    def record_foreign_request(self, block: int, requester: int) -> None:
+        self.inner.record_foreign_request(block, requester)
+
+
+def make_predictor(kind: str, num_cores: int, self_id: int,
+                   entries: int = 8192, macroblock_bytes: int = 1024,
+                   block_bytes: int = 64) -> Predictor:
+    """Factory keyed by the config's ``predictor`` field."""
+    if kind == "none":
+        return NonePredictor()
+    if kind == "all":
+        return AllPredictor(num_cores, self_id)
+    if kind == "owner":
+        return OwnerPredictor(num_cores, self_id, entries,
+                              macroblock_bytes, block_bytes)
+    if kind == "broadcast-if-shared":
+        return BroadcastIfSharedPredictor(num_cores, self_id, entries,
+                                          macroblock_bytes, block_bytes)
+    if kind == "group":
+        return GroupPredictor(num_cores, self_id, entries,
+                              macroblock_bytes, block_bytes)
+    raise ValueError(f"unknown predictor kind {kind!r}")

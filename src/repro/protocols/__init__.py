@@ -1,0 +1,8 @@
+"""Coherence protocols: DIRECTORY (baseline), PATCH (contribution), TokenB."""
+
+from repro.protocols.base import (MSG_CLASS, CacheControllerBase,
+                                  HomeControllerBase, Memory, Mshr, Node,
+                                  ProtocolError)
+
+__all__ = ["CacheControllerBase", "HomeControllerBase", "MSG_CLASS",
+           "Memory", "Mshr", "Node", "ProtocolError"]

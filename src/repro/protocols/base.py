@@ -1,0 +1,298 @@
+"""Shared protocol infrastructure.
+
+Every node hosts a cache controller (attached to one core) and a home
+controller (one slice of the distributed directory/memory).  Blocks are
+address-interleaved across homes: ``home(block) = block % num_nodes``.
+
+The classes here are protocol-agnostic: message plumbing, the single-entry
+MSHR (the paper models simple single-issue cores, so each core has one
+outstanding miss), writeback victim selection, and the memory model with
+data versioning used by the integrity checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cache.array import CacheArray, CacheLine
+from repro.coherence.messages import CoherenceMsg, MsgType
+from repro.coherence.states import CacheState
+from repro.coherence.tokens import ZERO, TokenCount
+from repro.config import SystemConfig
+from repro.interconnect.message import Message, Priority
+from repro.interconnect.network import NetworkInterface
+from repro.sim.kernel import Simulator
+from repro.stats.counters import Ewma, Histogram, StatGroup
+from repro.stats.traffic import MsgClass
+
+#: Interconnect traffic class for each protocol message type.
+MSG_CLASS: Dict[MsgType, MsgClass] = {
+    MsgType.GETS: MsgClass.INDIRECT_REQUEST,
+    MsgType.GETM: MsgClass.INDIRECT_REQUEST,
+    MsgType.DIRECT_GETS: MsgClass.DIRECT_REQUEST,
+    MsgType.DIRECT_GETM: MsgClass.DIRECT_REQUEST,
+    MsgType.FWD_GETS: MsgClass.FORWARD,
+    MsgType.FWD_GETM: MsgClass.FORWARD,
+    MsgType.INV: MsgClass.FORWARD,
+    MsgType.DATA: MsgClass.DATA,
+    MsgType.ACK: MsgClass.ACK,
+    MsgType.ACK_COUNT: MsgClass.ACK,
+    MsgType.DEACT: MsgClass.DEACTIVATION,
+    MsgType.PUT: MsgClass.WRITEBACK,
+    MsgType.WB_ACK: MsgClass.ACK,
+    MsgType.TOKEN_WB: MsgClass.WRITEBACK,
+    MsgType.ACTIVATION: MsgClass.ACTIVATION,
+    MsgType.PERSISTENT_REQ: MsgClass.REISSUE,
+    MsgType.PERSISTENT_ACTIVATE: MsgClass.REISSUE,
+    MsgType.PERSISTENT_DEACTIVATE: MsgClass.REISSUE,
+}
+
+
+@dataclass
+class Mshr:
+    """The single outstanding miss of a core."""
+
+    block: int
+    is_write: bool
+    txn_id: int
+    issue_time: int
+    done_callback: Callable[[], None]
+    # Token-protocol bookkeeping -------------------------------------
+    tokens: TokenCount = ZERO        # tokens gathered before line fill
+    data_version: int = -1           # version of gathered data (or -1)
+    have_data: bool = False
+    activated: bool = False          # PATCH: home named us active
+    core_done: bool = False          # permissions obtained, core released
+    complete: bool = False           # transaction fully finished
+    # DIRECTORY bookkeeping ------------------------------------------
+    issued: bool = False             # request messages actually sent
+    acks_expected: Optional[int] = None
+    acks_received: int = 0
+    grant_state: Optional[CacheState] = None
+    data_dirty: bool = False
+    # TokenB bookkeeping ----------------------------------------------
+    retries: int = 0
+    persistent: bool = False
+
+
+class ProtocolError(RuntimeError):
+    """The protocol reached a state its specification forbids."""
+
+
+class Memory:
+    """Per-home memory slice: DRAM latency plus a valid/version record.
+
+    ``version`` models the data value for the integrity checker; the
+    valid bit implements token Rule #5 at the home.
+    """
+
+    def __init__(self) -> None:
+        self._version: Dict[int, int] = {}
+        self._valid: Dict[int, bool] = {}
+
+    def version(self, block: int) -> int:
+        return self._version.get(block, 0)
+
+    def write(self, block: int, version: int) -> None:
+        self._version[block] = version
+        self._valid[block] = True
+
+    def is_valid(self, block: int) -> bool:
+        return self._valid.get(block, True)
+
+    def set_valid(self, block: int, valid: bool) -> None:
+        self._valid[block] = valid
+
+
+class Node:
+    """Base class for cache and home controllers: message plumbing."""
+
+    def __init__(self, node_id: int, sim: Simulator,
+                 network: NetworkInterface, config: SystemConfig) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.config = config
+        self.stats = StatGroup()
+
+    # ------------------------------------------------------------------
+    def home_of(self, block: int) -> int:
+        return block % self.config.num_cores
+
+    def msg_size(self, payload: CoherenceMsg) -> int:
+        return (self.config.data_msg_bytes if payload.has_data
+                else self.config.control_msg_bytes)
+
+    def send(self, dests: Sequence[int], payload: CoherenceMsg,
+             priority: Priority = Priority.NORMAL, delay: int = 0) -> None:
+        """Send ``payload`` to ``dests`` after ``delay`` cycles."""
+        msg = Message(src=self.node_id, dests=tuple(dests),
+                      size_bytes=self.msg_size(payload),
+                      msg_class=MSG_CLASS[payload.mtype],
+                      priority=priority, payload=payload)
+        if delay > 0:
+            self.sim.schedule(delay, lambda: self.network.send(msg))
+        else:
+            self.network.send(msg)
+
+    def handle_message(self, msg: Message) -> None:
+        raise NotImplementedError
+
+
+class CacheControllerBase(Node):
+    """Common cache-side behaviour: hits, the MSHR, victim selection.
+
+    Subclasses implement the protocol-specific miss issue path and message
+    handlers.
+    """
+
+    def __init__(self, node_id: int, sim: Simulator,
+                 network: NetworkInterface, config: SystemConfig) -> None:
+        super().__init__(node_id, sim, network, config)
+        self.cache = CacheArray(config.cache_sets, config.cache_assoc)
+        self.mshr: Optional[Mshr] = None
+        self.miss_latency = Histogram(bucket_width=25)
+        self.rtt_ewma = Ewma(alpha=0.125,
+                             initial=float(4 * config.total_link_latency
+                                           + 2 * config.directory_latency))
+        self._integrity = None  # set by System when checking is enabled
+
+    # -- core-facing API ------------------------------------------------
+    def access(self, block: int, is_write: bool,
+               done: Callable[[], None]) -> None:
+        """Core issues a load or store; ``done`` fires on completion."""
+        if self.mshr is not None:
+            raise ProtocolError(
+                f"core {self.node_id} issued a second outstanding access")
+        line = self.cache.lookup(block, touch=True)
+        if line is not None and self._is_hit(line, is_write):
+            self.stats.add("hits")
+            self._apply_access(line, is_write)
+            self.sim.schedule(self.config.cache_latency, done)
+            return
+        self.stats.add("misses")
+        self.stats.add("write_misses" if is_write else "read_misses")
+        from repro.coherence.messages import next_txn_id
+        mshr = Mshr(block=block, is_write=is_write,
+                    txn_id=next_txn_id(), issue_time=self.sim.now,
+                    done_callback=done)
+        self.mshr = mshr
+        self.sim.schedule(self.config.cache_latency,
+                          lambda: self._maybe_issue(mshr))
+
+    def _maybe_issue(self, mshr: Mshr) -> None:
+        """Issue the miss unless it already completed (tokens redirected
+        from an earlier transaction can satisfy a miss during the cache
+        lookup delay, before any request message goes out)."""
+        if mshr.complete or self.mshr is not mshr:
+            return
+        mshr.issued = True
+        self._issue_miss(mshr)
+
+    def _is_hit(self, line: CacheLine, is_write: bool) -> bool:
+        if is_write:
+            return line.state in (CacheState.M, CacheState.E)
+        return line.state is not CacheState.I and line.valid_data
+
+    def _apply_access(self, line: CacheLine, is_write: bool) -> None:
+        """Perform the access on a line with sufficient permission."""
+        if is_write:
+            if line.state is CacheState.E:
+                self._silent_upgrade(line)
+            self._commit_write(line)
+        else:
+            self._observe_read(line)
+
+    def _silent_upgrade(self, line: CacheLine) -> None:
+        """E -> M on a store hit (no message needed)."""
+        line.state = CacheState.M
+        if not line.tokens.is_zero:
+            line.tokens = line.tokens.mark_dirty()
+
+    def _commit_write(self, line: CacheLine) -> None:
+        line.state = CacheState.M
+        if not line.tokens.is_zero:
+            line.tokens = line.tokens.mark_dirty()
+        line.valid_data = True
+        if self._integrity is not None:
+            line.version = self._integrity.commit_write(self.node_id,
+                                                        line.block)
+
+    def _observe_read(self, line: CacheLine) -> None:
+        if self._integrity is not None:
+            self._integrity.observe_read(self.node_id, line.block,
+                                         line.version)
+
+    # -- completion helpers ---------------------------------------------
+    def _finish_miss(self, mshr: Mshr) -> None:
+        """Release the core and record the miss latency."""
+        if mshr.core_done:
+            return
+        mshr.core_done = True
+        latency = self.sim.now - mshr.issue_time
+        self.miss_latency.add(latency)
+        self.rtt_ewma.add(latency)
+        self.sim.schedule(0, mshr.done_callback)
+
+    # -- subclass hooks ---------------------------------------------------
+    def _issue_miss(self, mshr: Mshr) -> None:
+        raise NotImplementedError
+
+    def resident_state(self, block: int) -> CacheState:
+        line = self.cache.lookup(block)
+        return line.state if line is not None else CacheState.I
+
+
+class HomeControllerBase(Node):
+    """Common home-side behaviour: per-block busy/queue serialization.
+
+    Both DIRECTORY and PATCH process requests one at a time per block
+    (GEMS-style blocking, no NACKs); the arrival order at the home decides
+    the service order.  This is the serialization point token tenure
+    leverages (Rule #1a).
+    """
+
+    def __init__(self, node_id: int, sim: Simulator,
+                 network: NetworkInterface, config: SystemConfig) -> None:
+        super().__init__(node_id, sim, network, config)
+        self.memory = Memory()
+        self._busy: Dict[int, CoherenceMsg] = {}    # block -> active request
+        self._queues: Dict[int, List[CoherenceMsg]] = {}
+
+    # ------------------------------------------------------------------
+    def is_busy(self, block: int) -> bool:
+        return block in self._busy
+
+    def active_request(self, block: int) -> Optional[CoherenceMsg]:
+        return self._busy.get(block)
+
+    def _enqueue_or_activate(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        if block in self._busy:
+            self._queues.setdefault(block, []).append(payload)
+            self.stats.add("queued_requests")
+            return
+        self._busy[block] = payload
+        self.stats.add("activations")
+        self.sim.schedule(self.config.directory_latency,
+                          lambda: self._activate(payload))
+
+    def _deactivate(self, block: int) -> None:
+        """Finish the active request; start the next queued one, if any."""
+        if block not in self._busy:
+            raise ProtocolError(f"deactivate on idle block {block}")
+        del self._busy[block]
+        queue = self._queues.get(block)
+        if queue:
+            payload = queue.pop(0)
+            if not queue:
+                del self._queues[block]
+            self._busy[block] = payload
+            self.stats.add("activations")
+            self.sim.schedule(self.config.directory_latency,
+                              lambda: self._activate(payload))
+
+    # -- subclass hooks ---------------------------------------------------
+    def _activate(self, payload: CoherenceMsg) -> None:
+        raise NotImplementedError

@@ -1,0 +1,252 @@
+"""PATCH home controller.
+
+The home keeps DIRECTORY's per-block serialization (busy + FIFO) and
+directory entry (exact owner, encoded sharers), and adds a token holding
+for memory.  Its tenure-specific duties (Table 3):
+
+* Rule #1a: fairly activate one request at a time per block; tell the
+  requester with an explicit ACTIVATION message; respond with any tokens
+  memory holds.
+* Rule #1b: on activation (and only then) forward the request to a
+  superset of the caches holding tenured tokens — exactly the directory's
+  owner + sharers set, since only activated (hence recorded) processors
+  ever tenure tokens.
+* Rule #5: redirect tokens that are discarded to the home (tenure
+  timeouts, evictions) to the block's active requester.
+
+Because completion is by token counting, the home never computes
+acks-to-expect, and forwarded requests reach a *superset* of holders
+without generating acknowledgements from non-holders — the property
+behind PATCH's graceful scaling under coarse sharer encodings (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.coherence.messages import CoherenceMsg, MsgType
+from repro.coherence.states import CacheState
+from repro.coherence.tokens import ZERO, TokenCount, initial_tokens
+from repro.directory_state.encodings import SharerEncoding, make_encoding
+from repro.protocols.base import HomeControllerBase, ProtocolError
+
+
+@dataclass
+class PatchDirEntry:
+    """Directory entry plus memory's token holding for the block."""
+
+    sharers: SharerEncoding
+    tokens: TokenCount                  # held by this memory module
+    owner: Optional[int] = None         # cache believed to hold ownership
+    migratory: bool = False
+    pending_read_by: Optional[int] = None
+    pending_read_was_remote: bool = False
+
+
+class PatchHome(HomeControllerBase):
+    """Home controller for the PATCH protocol."""
+
+    def __init__(self, node_id, sim, network, config) -> None:
+        super().__init__(node_id, sim, network, config)
+        self._entries: Dict[int, PatchDirEntry] = {}
+        self.total_tokens = config.tokens_per_block
+
+    def entry(self, block: int) -> PatchDirEntry:
+        if block not in self._entries:
+            self._entries[block] = PatchDirEntry(
+                sharers=make_encoding(self.config.num_cores,
+                                      self.config.encoding_coarseness),
+                tokens=initial_tokens(self.total_tokens))
+        return self._entries[block]
+
+    # -- message dispatch ---------------------------------------------------
+    def handle_message(self, msg) -> None:
+        payload: CoherenceMsg = msg.payload
+        if payload.mtype in (MsgType.GETS, MsgType.GETM):
+            self._enqueue_or_activate(payload)
+        elif payload.mtype is MsgType.DEACT:
+            self._on_deact(payload)
+        elif payload.mtype is MsgType.TOKEN_WB:
+            self._on_token_wb(payload)
+        else:
+            raise ProtocolError(
+                f"patch home {self.node_id}: unexpected "
+                f"{payload.mtype.value}")
+
+    # -- activation (Rule #1) -------------------------------------------------
+    def _activate(self, payload: CoherenceMsg) -> None:
+        entry = self.entry(payload.block)
+        self._activation_piggybacked = False
+        if payload.mtype is MsgType.GETS:
+            self._activate_read(payload, entry)
+        else:
+            self._activate_write(payload, entry)
+        if not self._activation_piggybacked:
+            # The home sent the requester nothing itself (tokens are all
+            # out in caches): notify activation explicitly, as the paper
+            # does for owner-upgrade misses.
+            activation = CoherenceMsg(mtype=MsgType.ACTIVATION,
+                                      block=payload.block,
+                                      requester=payload.requester,
+                                      sender=self.node_id,
+                                      txn_id=payload.txn_id)
+            self.send([payload.requester], activation)
+
+    def _activate_read(self, payload: CoherenceMsg,
+                       entry: PatchDirEntry) -> None:
+        requester = payload.requester
+        remote_owner = entry.owner is not None and entry.owner != requester
+        if (self.config.migratory_optimization and entry.migratory
+                and remote_owner):
+            self.stats.add("migratory_reads")
+            self._forward_exclusive(payload, entry)
+        else:
+            self._supply_owner_token(payload, entry)
+        if entry.pending_read_by is not None:
+            entry.migratory = False
+        entry.pending_read_by = requester
+        entry.pending_read_was_remote = remote_owner
+
+    def _supply_owner_token(self, payload: CoherenceMsg,
+                            entry: PatchDirEntry) -> None:
+        """Read: hand over ownership, mirroring DIRECTORY's owner transfer."""
+        requester = payload.requester
+        if entry.tokens.owner:
+            others = entry.sharers.sharers() - {requester}
+            if entry.tokens.count == self.total_tokens and not others:
+                taken, remaining = entry.tokens.take_all()   # grant E
+            else:
+                taken, remaining = entry.tokens.take(1, take_owner=True)
+            entry.tokens = remaining
+            self._send_memory_tokens(payload, taken)
+        elif entry.owner is not None and entry.owner != requester:
+            self._forward(payload, [entry.owner], MsgType.FWD_GETS)
+        elif entry.owner == requester:
+            # Requester evicted its ownership; the writeback is in flight
+            # and will be redirected to it (Rule #5).  Nothing to forward.
+            self.stats.add("owner_self_requests")
+        else:
+            # Owner token is in flight or untenured somewhere: token
+            # tenure will funnel it here and Rule #5 redirects it.
+            self.stats.add("tokens_in_flight_waits")
+
+    def _activate_write(self, payload: CoherenceMsg,
+                        entry: PatchDirEntry) -> None:
+        requester = payload.requester
+        if (entry.pending_read_by == requester
+                and entry.pending_read_was_remote):
+            entry.migratory = True
+            self.stats.add("migratory_detected")
+        entry.pending_read_by = None
+        self._forward_exclusive(payload, entry)
+
+    def _forward_exclusive(self, payload: CoherenceMsg,
+                           entry: PatchDirEntry) -> None:
+        """Write (or migratory read): memory contributes all of its tokens;
+        forward to the owner + sharers superset (Rule #1b)."""
+        requester = payload.requester
+        if not entry.tokens.is_zero:
+            taken, entry.tokens = entry.tokens.take_all()
+            self._send_memory_tokens(payload, taken)
+        targets = entry.sharers.sharers() - {requester}
+        if entry.owner is not None and entry.owner != requester:
+            targets.add(entry.owner)
+        if targets:
+            self._forward(payload, sorted(targets), MsgType.FWD_GETM)
+
+    def _forward(self, payload: CoherenceMsg, targets, mtype) -> None:
+        fwd = CoherenceMsg(mtype=mtype, block=payload.block,
+                           requester=payload.requester, sender=self.node_id,
+                           txn_id=payload.txn_id, is_write=payload.is_write)
+        self.send(targets, fwd)
+        self.stats.add("forwards_sent", len(targets))
+
+    def _send_memory_tokens(self, payload: CoherenceMsg,
+                            tokens: TokenCount) -> None:
+        """Send memory-held tokens to the activated requester."""
+        block = payload.block
+        has_data = tokens.owner
+        if has_data and not self.memory.is_valid(block):
+            raise ProtocolError(
+                f"memory owns block {block} but its data is invalid")
+        response = CoherenceMsg(
+            mtype=MsgType.DATA if has_data else MsgType.ACK, block=block,
+            requester=payload.requester, sender=self.node_id,
+            txn_id=payload.txn_id, tokens=tokens, has_data=has_data,
+            activation=True,
+            data_version=self.memory.version(block) if has_data else 0)
+        self._activation_piggybacked = True
+        delay = self.config.dram_latency if has_data else 0
+        self.send([payload.requester], response, delay=delay)
+        self.stats.add("memory_token_grants")
+
+    # -- token writebacks and redirects (Rule #5) ----------------------------
+    def _on_token_wb(self, payload: CoherenceMsg) -> None:
+        entry = self.entry(payload.block)
+        if payload.state_report in (None, CacheState.I):
+            # Sender kept nothing; safe to drop from the sharers superset.
+            entry.sharers.remove(payload.sender)
+        if entry.owner == payload.sender and payload.tokens.owner:
+            entry.owner = None
+        tokens = payload.tokens
+        if tokens.owner:
+            # Rule #1: memory receives the owner token -> set it clean;
+            # Rule #5: memory data becomes valid.
+            if payload.has_data:
+                self.memory.write(payload.block, payload.data_version)
+            else:
+                self.memory.set_valid(payload.block, True)
+            tokens = tokens.mark_clean()
+        active = self.active_request(payload.block)
+        if active is not None:
+            # Rule #5 is unconditional: even tokens the active requester
+            # itself discarded (probation fired while its activation was
+            # still in flight) are sent back to it.
+            self._redirect(active, tokens)
+        else:
+            entry.tokens = entry.tokens.add(tokens)
+            self.stats.add("tokens_absorbed")
+
+    def _redirect(self, active: CoherenceMsg, tokens: TokenCount) -> None:
+        """Funnel discarded tokens to the block's active requester."""
+        block = active.block
+        has_data = tokens.owner
+        response = CoherenceMsg(
+            mtype=MsgType.DATA if has_data else MsgType.ACK, block=block,
+            requester=active.requester, sender=self.node_id,
+            txn_id=active.txn_id, tokens=tokens, has_data=has_data,
+            data_version=self.memory.version(block) if has_data else 0)
+        self.send([active.requester], response)
+        self.stats.add("tokens_redirected")
+
+    # -- deactivation (Rule #7 bookkeeping) -----------------------------------
+    def _on_deact(self, payload: CoherenceMsg) -> None:
+        entry = self.entry(payload.block)
+        active = self.active_request(payload.block)
+        if active is None or active.txn_id != payload.txn_id:
+            raise ProtocolError(
+                f"DEACT for txn {payload.txn_id} does not match the active "
+                f"request at home {self.node_id}")
+        requester = payload.requester
+        report = payload.state_report
+        old_owner = entry.owner
+        if report in (CacheState.M, CacheState.E):
+            entry.sharers.clear()
+            entry.sharers.add(requester)
+            entry.owner = requester
+        elif report in (CacheState.O, CacheState.F):
+            if old_owner is not None and old_owner != requester:
+                entry.sharers.add(old_owner)
+            entry.sharers.add(requester)
+            entry.owner = requester
+        elif report is CacheState.S:
+            entry.sharers.add(requester)
+        elif report is CacheState.I:
+            if self.config.encoding_coarseness == 1:
+                entry.sharers.remove(requester)
+            if entry.owner == requester:
+                entry.owner = None
+        else:
+            raise ProtocolError(f"unexpected DEACT state {report}")
+        self._deactivate(payload.block)

@@ -1,0 +1,6 @@
+"""TokenB: broadcast token coherence with persistent requests."""
+
+from repro.protocols.tokenb.cache_ctrl import TokenBCache
+from repro.protocols.tokenb.home_ctrl import TokenBHome
+
+__all__ = ["TokenBCache", "TokenBHome"]

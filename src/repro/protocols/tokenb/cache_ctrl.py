@@ -1,0 +1,374 @@
+"""TokenB cache controller (Martin et al. [20], paper Section 2).
+
+TokenB broadcasts transient requests to every node on an unordered
+interconnect; token counting guarantees safety.  Forward progress uses:
+
+* reissued transient requests after a timeout (counted as Reissue
+  traffic, as in the paper's Figure 5), then
+* persistent requests: broadcast-activated, arbitrated per-block at the
+  home, with a persistent-request table at every processor that forwards
+  all present and future tokens for the block to the starving requester.
+
+This is the Table-4 baseline: broadcast-based, reissues, per-processor
+persistent-request table state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.array import CacheLine
+from repro.coherence.messages import CoherenceMsg, MsgType
+from repro.coherence.states import CacheState, state_from_tokens
+from repro.coherence.tokens import ZERO, TokenCount
+from repro.protocols.base import CacheControllerBase, Mshr, ProtocolError
+
+
+class TokenBCache(CacheControllerBase):
+    """Cache controller for broadcast token coherence."""
+
+    def __init__(self, node_id, sim, network, config) -> None:
+        super().__init__(node_id, sim, network, config)
+        self.total_tokens = config.tokens_per_block
+        # Persistent-request table: block -> starving requester node.
+        self.persistent_table: Dict[int, int] = {}
+        self._retry_generation = 0
+
+    # ------------------------------------------------------------------
+    # Miss issue, reissue, and persistent escalation
+    # ------------------------------------------------------------------
+    def _all_nodes(self):
+        return range(self.config.num_cores)
+
+    def _issue_miss(self, mshr: Mshr) -> None:
+        self._broadcast_request(mshr)
+        self._arm_retry_timer(mshr)
+
+    def _broadcast_request(self, mshr: Mshr) -> None:
+        mtype = MsgType.GETM if mshr.is_write else MsgType.GETS
+        payload = CoherenceMsg(mtype=mtype, block=mshr.block,
+                               requester=self.node_id, sender=self.node_id,
+                               txn_id=mshr.txn_id, is_write=mshr.is_write)
+        dests = {n for n in self._all_nodes() if n != self.node_id}
+        dests.add(self.home_of(mshr.block))  # home sees it even if local
+        self.send(sorted(dests), payload)
+
+    def _retry_interval(self, retries: int = 0) -> int:
+        estimate = self.rtt_ewma.value or float(
+            4 * self.config.total_link_latency)
+        base = max(self.config.tenure_timeout_floor,
+                   int(self.config.tokenb_retry_multiplier * estimate))
+        # Deterministic per-node jitter desynchronizes symmetric racers
+        # (real TokenB randomizes its backoff for the same reason).
+        jitter = (self.node_id * 17 + retries * 29) % max(1, base // 2)
+        return base + jitter
+
+    def _arm_retry_timer(self, mshr: Mshr) -> None:
+        self._retry_generation += 1
+        generation = self._retry_generation
+        self.sim.schedule(self._retry_interval(mshr.retries),
+                          lambda: self._retry_fired(mshr.txn_id, generation))
+
+    def _retry_fired(self, txn_id: int, generation: int) -> None:
+        mshr = self.mshr
+        if (mshr is None or mshr.txn_id != txn_id or mshr.complete
+                or generation != self._retry_generation):
+            return
+        if mshr.persistent:
+            return  # arbitration in progress; no more transient retries
+        if mshr.retries < self.config.tokenb_max_retries:
+            mshr.retries += 1
+            self._reissue(mshr)
+            self._arm_retry_timer(mshr)
+        else:
+            self._go_persistent(mshr)
+
+    def _reissue(self, mshr: Mshr) -> None:
+        """Broadcast a reissued transient request (Reissue traffic class)."""
+        from repro.interconnect.message import Message
+        from repro.stats.traffic import MsgClass
+        mtype = MsgType.GETM if mshr.is_write else MsgType.GETS
+        payload = CoherenceMsg(mtype=mtype, block=mshr.block,
+                               requester=self.node_id, sender=self.node_id,
+                               txn_id=mshr.txn_id, is_write=mshr.is_write)
+        dests = {n for n in self._all_nodes() if n != self.node_id}
+        dests.add(self.home_of(mshr.block))
+        msg = Message(src=self.node_id, dests=tuple(sorted(dests)),
+                      size_bytes=self.config.control_msg_bytes,
+                      msg_class=MsgClass.REISSUE, payload=payload)
+        self.network.send(msg)
+        self.stats.add("reissues")
+
+    def _go_persistent(self, mshr: Mshr) -> None:
+        """Escalate to a persistent request at the home arbiter."""
+        mshr.persistent = True
+        self.stats.add("persistent_requests")
+        payload = CoherenceMsg(mtype=MsgType.PERSISTENT_REQ,
+                               block=mshr.block, requester=self.node_id,
+                               sender=self.node_id, txn_id=mshr.txn_id,
+                               is_write=mshr.is_write, to_home=True)
+        self.send([self.home_of(mshr.block)], payload)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, msg) -> None:
+        payload: CoherenceMsg = msg.payload
+        handler = {
+            MsgType.GETS: self._on_transient,
+            MsgType.GETM: self._on_transient,
+            MsgType.DATA: self._on_tokens,
+            MsgType.ACK: self._on_tokens,
+            MsgType.PERSISTENT_ACTIVATE: self._on_persistent_activate,
+            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_deactivate,
+        }.get(payload.mtype)
+        if handler is None:
+            raise ProtocolError(
+                f"tokenb cache {self.node_id}: unexpected "
+                f"{payload.mtype.value}")
+        handler(payload)
+
+    # ------------------------------------------------------------------
+    # Responding to transient requests
+    # ------------------------------------------------------------------
+    def _on_transient(self, payload: CoherenceMsg) -> None:
+        if payload.requester == self.node_id:
+            return
+        block = payload.block
+        if block in self.persistent_table:
+            return  # tokens reserved for the starver
+        # TokenB processes incoming transient requests against its current
+        # holdings even while it has its own request outstanding — tokens
+        # collected so far can be stolen, which is exactly why TokenB needs
+        # reissues and persistent requests for forward progress.
+        if payload.mtype is MsgType.GETM:
+            self._yield_everything(payload.requester, block, payload.txn_id)
+        else:
+            self._yield_ownership(payload.requester, block, payload.txn_id)
+
+    def _yield_everything(self, dest: int, block: int, txn_id: int) -> None:
+        """GETM: hand over every token we hold (line and MSHR)."""
+        from repro.coherence.tokens import ZERO as _ZERO
+        tokens = _ZERO
+        has_data = False
+        version = 0
+        line = self.cache.lookup(block)
+        if line is not None and not line.tokens.is_zero:
+            tokens = tokens.add(line.tokens)
+            if line.valid_data:
+                has_data = True
+                version = line.version
+            self._drop_line(line)
+        mshr = self.mshr
+        if mshr is not None and mshr.block == block and not mshr.tokens.is_zero:
+            tokens = tokens.add(mshr.tokens)
+            if mshr.have_data:
+                has_data = True
+                version = mshr.data_version
+            mshr.tokens = _ZERO
+            mshr.have_data = False
+        if tokens.is_zero:
+            return  # token counting: no zero-token acks
+        has_data = has_data and tokens.owner
+        self._respond(dest, block, txn_id, tokens, has_data, version)
+
+    def _yield_ownership(self, dest: int, block: int, txn_id: int) -> None:
+        """GETS: transfer the owner token (+ data), keep the rest.
+
+        A dirty-exclusive (M) holding transfers everything — TokenB's
+        migratory-sharing response policy."""
+        line = self.cache.lookup(block)
+        if (self.config.migratory_optimization
+                and line is not None and line.tokens.dirty
+                and line.tokens.is_all(self.total_tokens)):
+            self._yield_all(line, dest, txn_id)
+            return
+        if line is not None and line.tokens.owner:
+            self._yield_owner(line, dest, txn_id)
+            return
+        mshr = self.mshr
+        if (mshr is not None and mshr.block == block
+                and mshr.tokens.owner and mshr.have_data):
+            taken, remaining = mshr.tokens.take(1, take_owner=True)
+            mshr.tokens = remaining
+            version = mshr.data_version
+            if remaining.is_zero:
+                mshr.have_data = False
+            self._respond(dest, block, txn_id, taken, True, version)
+
+    def _yield_all(self, line: CacheLine, dest: int, txn_id: int) -> None:
+        tokens = line.tokens
+        has_data = tokens.owner and line.valid_data
+        version = line.version
+        self._drop_line(line)
+        self._respond(dest, line.block, txn_id, tokens, has_data, version)
+
+    def _yield_owner(self, line: CacheLine, dest: int, txn_id: int) -> None:
+        if not line.tokens.owner:
+            return
+        if not line.valid_data:
+            raise ProtocolError(
+                f"owner token without data at tokenb cache {self.node_id}")
+        taken, remaining = line.tokens.take(1, take_owner=True)
+        line.tokens = remaining
+        version = line.version
+        if remaining.is_zero:
+            self._drop_line(line)
+        else:
+            line.state = state_from_tokens(line.tokens, self.total_tokens,
+                                           line.valid_data)
+        self._respond(dest, line.block, txn_id, taken, True, version)
+
+    def _respond(self, dest: int, block: int, txn_id: int,
+                 tokens: TokenCount, has_data: bool, version: int) -> None:
+        mtype = MsgType.DATA if has_data else MsgType.ACK
+        response = CoherenceMsg(mtype=mtype, block=block, requester=dest,
+                                sender=self.node_id, txn_id=txn_id,
+                                tokens=tokens, has_data=has_data,
+                                data_version=version)
+        self.send([dest], response, delay=self.config.cache_latency)
+
+    # ------------------------------------------------------------------
+    # Token arrival
+    # ------------------------------------------------------------------
+    def _on_tokens(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        starver = self.persistent_table.get(block)
+        if starver is not None and starver != self.node_id:
+            # Table says all tokens for this block flow to the starver.
+            self._respond(starver, block, payload.txn_id, payload.tokens,
+                          payload.has_data, payload.data_version)
+            return
+        mshr = self.mshr
+        if mshr is not None and mshr.block == block:
+            mshr.tokens = mshr.tokens.add(payload.tokens)
+            if payload.has_data:
+                mshr.have_data = True
+                mshr.data_version = payload.data_version
+            self._try_complete(mshr)
+            return
+        self._absorb_stray(payload)
+
+    def _absorb_stray(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        line = self.cache.lookup(block)
+        if line is None:
+            if self.cache.victim_for(block) is not None:
+                self._send_tokens_home(block, payload.tokens,
+                                       payload.has_data,
+                                       payload.data_version)
+                return
+            line = self.cache.allocate(block)
+        line.tokens = line.tokens.add(payload.tokens)
+        if payload.has_data:
+            line.valid_data = True
+            line.version = payload.data_version
+        line.state = state_from_tokens(line.tokens, self.total_tokens,
+                                       line.valid_data)
+        self.stats.add("stray_tokens")
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _try_complete(self, mshr: Mshr) -> None:
+        line = self.cache.lookup(mshr.block)
+        held = mshr.tokens.add(line.tokens if line is not None else ZERO)
+        have_data = mshr.have_data or (line is not None and line.valid_data)
+        if not have_data:
+            return
+        if mshr.is_write and not held.is_all(self.total_tokens):
+            return
+        if not mshr.is_write and held.is_zero:
+            return
+        self._fill_and_complete(mshr)
+
+    def _fill_and_complete(self, mshr: Mshr) -> None:
+        self._make_room(mshr.block)
+        line = self.cache.allocate(mshr.block)
+        line.tokens = line.tokens.add(mshr.tokens)
+        if mshr.have_data:
+            line.valid_data = True
+            line.version = mshr.data_version
+        mshr.tokens = ZERO
+        mshr.complete = True
+        if mshr.is_write:
+            self._commit_write(line)
+        else:
+            line.state = state_from_tokens(line.tokens, self.total_tokens,
+                                           line.valid_data)
+            self._observe_read(line)
+        was_persistent = mshr.persistent
+        self.mshr = None
+        self._finish_miss(mshr)
+        if was_persistent:
+            done = CoherenceMsg(mtype=MsgType.PERSISTENT_DEACTIVATE,
+                                block=mshr.block, requester=self.node_id,
+                                sender=self.node_id, txn_id=mshr.txn_id,
+                                to_home=True)
+            self.send([self.home_of(mshr.block)], done)
+
+    # ------------------------------------------------------------------
+    # Persistent-request table maintenance
+    # ------------------------------------------------------------------
+    def _on_persistent_activate(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        starver = payload.requester
+        self.persistent_table[block] = starver
+        if starver == self.node_id:
+            return  # we hoard
+        # Forward everything we currently hold for the block.
+        line = self.cache.lookup(block)
+        if line is not None and not line.tokens.is_zero:
+            self._yield_all(line, starver, payload.txn_id)
+        mshr = self.mshr
+        if (mshr is not None and mshr.block == block
+                and not mshr.tokens.is_zero):
+            tokens, mshr.tokens = mshr.tokens.take_all()
+            has_data = tokens.owner and mshr.have_data
+            version = mshr.data_version
+            mshr.have_data = False if tokens.owner else mshr.have_data
+            self._respond(starver, block, payload.txn_id, tokens,
+                          has_data, version)
+
+    def _on_persistent_deactivate(self, payload: CoherenceMsg) -> None:
+        self.persistent_table.pop(payload.block, None)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _make_room(self, block: int) -> None:
+        victim = self.cache.victim_for(block)
+        if victim is not None:
+            self._evict(victim)
+
+    def _evict(self, line: CacheLine) -> None:
+        tokens = line.tokens
+        has_data = tokens.owner and line.valid_data
+        version = line.version
+        block = line.block
+        self._drop_line(line)
+        self.stats.add("evictions")
+        if tokens.is_zero:
+            return
+        starver = self.persistent_table.get(block)
+        if starver is not None and starver != self.node_id:
+            self._respond(starver, block, 0, tokens, has_data, version)
+            return
+        self._send_tokens_home(block, tokens, has_data, version)
+        self.stats.add("token_writebacks")
+
+    def _drop_line(self, line: CacheLine) -> None:
+        line.tokens = ZERO
+        line.valid_data = False
+        line.state = CacheState.I
+        self.cache.evict(line.block)
+
+    def _send_tokens_home(self, block: int, tokens: TokenCount,
+                          has_data: bool, version: int) -> None:
+        if tokens.owner and tokens.dirty and not has_data:
+            raise ProtocolError("dirty owner token going home without data")
+        wb = CoherenceMsg(mtype=MsgType.TOKEN_WB, block=block,
+                          requester=self.node_id, sender=self.node_id,
+                          tokens=tokens, has_data=has_data,
+                          data_version=version, to_home=True)
+        self.send([self.home_of(block)], wb)

@@ -1,0 +1,151 @@
+"""TokenB home controller: memory token holder + persistent arbiter.
+
+TokenB keeps *no directory state* — the home is just the memory module
+(which holds tokens like any other component) plus the centralized
+per-block arbiter for persistent requests (paper Section 2, Table 4:
+"State at home: tokens").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coherence.messages import CoherenceMsg, MsgType
+from repro.coherence.tokens import TokenCount, ZERO, initial_tokens
+from repro.protocols.base import HomeControllerBase, Node, ProtocolError
+
+
+class TokenBHome(Node):
+    """Memory + persistent-request arbiter for one home slice."""
+
+    def __init__(self, node_id, sim, network, config) -> None:
+        super().__init__(node_id, sim, network, config)
+        from repro.protocols.base import Memory
+        self.memory = Memory()
+        self.total_tokens = config.tokens_per_block
+        self._tokens: Dict[int, TokenCount] = {}
+        # Persistent arbitration: one active starver per block + FIFO.
+        self._active: Dict[int, CoherenceMsg] = {}
+        self._queues: Dict[int, List[CoherenceMsg]] = {}
+
+    def tokens_at(self, block: int) -> TokenCount:
+        if block not in self._tokens:
+            self._tokens[block] = initial_tokens(self.total_tokens)
+        return self._tokens[block]
+
+    # -- message dispatch ---------------------------------------------------
+    def handle_message(self, msg) -> None:
+        payload: CoherenceMsg = msg.payload
+        handler = {
+            MsgType.GETS: self._on_request,
+            MsgType.GETM: self._on_request,
+            MsgType.TOKEN_WB: self._on_token_wb,
+            MsgType.PERSISTENT_REQ: self._on_persistent_req,
+            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_done,
+        }.get(payload.mtype)
+        if handler is None:
+            raise ProtocolError(
+                f"tokenb home {self.node_id}: unexpected "
+                f"{payload.mtype.value}")
+        handler(payload)
+
+    # -- transient requests ---------------------------------------------------
+    def _on_request(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        if block in self._active:
+            # Tokens are reserved for the starver; transient requests from
+            # anyone else are ignored until deactivation.
+            if self._active[block].requester != payload.requester:
+                return
+        held = self.tokens_at(block)
+        if held.is_zero:
+            return  # token counting: nothing to contribute, no ack
+        if payload.mtype is MsgType.GETM:
+            taken, remaining = held.take_all()
+        elif held.owner:
+            if held.count == self.total_tokens:
+                taken, remaining = held.take_all()      # exclusive grant
+            else:
+                taken, remaining = held.take(1, take_owner=True)
+        else:
+            return  # read request: only the owner-token holder responds
+        self._tokens[block] = remaining
+        self._grant(payload.requester, block, payload.txn_id, taken)
+
+    def _grant(self, dest: int, block: int, txn_id: int,
+               tokens: TokenCount) -> None:
+        has_data = tokens.owner
+        if has_data and not self.memory.is_valid(block):
+            raise ProtocolError(
+                f"memory grants owner token for block {block} "
+                "but data is invalid")
+        response = CoherenceMsg(
+            mtype=MsgType.DATA if has_data else MsgType.ACK, block=block,
+            requester=dest, sender=self.node_id, txn_id=txn_id,
+            tokens=tokens, has_data=has_data,
+            data_version=self.memory.version(block) if has_data else 0)
+        delay = (self.config.dram_latency if has_data
+                 else self.config.directory_latency)
+        self.send([dest], response, delay=delay)
+        self.stats.add("memory_token_grants")
+
+    # -- token writebacks -----------------------------------------------------
+    def _on_token_wb(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        tokens = payload.tokens
+        if tokens.owner:
+            if payload.has_data:
+                self.memory.write(block, payload.data_version)
+            else:
+                self.memory.set_valid(block, True)
+            tokens = tokens.mark_clean()
+        active = self._active.get(block)
+        if active is not None and active.requester != payload.sender:
+            # The starver has priority over memory for arriving tokens.
+            self._grant(active.requester, block, active.txn_id, tokens)
+            self.stats.add("tokens_redirected")
+            return
+        self._tokens[block] = self.tokens_at(block).add(tokens)
+        self.stats.add("tokens_absorbed")
+
+    # -- persistent arbitration ------------------------------------------------
+    def _on_persistent_req(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        if block in self._active:
+            self._queues.setdefault(block, []).append(payload)
+            return
+        self._start_persistent(payload)
+
+    def _start_persistent(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        self._active[block] = payload
+        self.stats.add("persistent_activations")
+        activate = CoherenceMsg(mtype=MsgType.PERSISTENT_ACTIVATE,
+                                block=block, requester=payload.requester,
+                                sender=self.node_id, txn_id=payload.txn_id,
+                                is_write=payload.is_write)
+        self.send(sorted(range(self.config.num_cores)), activate)
+        # Memory immediately contributes everything it holds.
+        held = self.tokens_at(block)
+        if not held.is_zero:
+            taken, self._tokens[block] = held.take_all()
+            self._grant(payload.requester, block, payload.txn_id, taken)
+
+    def _on_persistent_done(self, payload: CoherenceMsg) -> None:
+        block = payload.block
+        active = self._active.get(block)
+        if active is None or active.requester != payload.requester:
+            raise ProtocolError(
+                f"persistent deactivate from {payload.requester} but "
+                f"no matching activation at home {self.node_id}")
+        del self._active[block]
+        deactivate = CoherenceMsg(mtype=MsgType.PERSISTENT_DEACTIVATE,
+                                  block=block, requester=payload.requester,
+                                  sender=self.node_id, txn_id=payload.txn_id)
+        self.send(sorted(range(self.config.num_cores)), deactivate)
+        queue = self._queues.get(block)
+        if queue:
+            nxt = queue.pop(0)
+            if not queue:
+                del self._queues[block]
+            self._start_persistent(nxt)

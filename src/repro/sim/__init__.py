@@ -1,0 +1,5 @@
+"""Discrete-event simulation kernel."""
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Event", "SimulationError", "Simulator"]

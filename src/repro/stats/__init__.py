@@ -1,0 +1,15 @@
+"""Statistics: counters, traffic accounting, confidence intervals."""
+
+from repro.stats.ci import ConfidenceInterval, ratio_interval, t_interval
+from repro.stats.counters import (Counter, Ewma, Histogram, RunningStat,
+                                  StatGroup, geometric_mean)
+from repro.stats.traffic import (FIGURE5_GROUPS, FIGURE5_ORDER, MsgClass,
+                                 TrafficMeter, bytes_per_miss, normalize,
+                                 stacked_bar)
+
+__all__ = [
+    "ConfidenceInterval", "Counter", "Ewma", "FIGURE5_GROUPS",
+    "FIGURE5_ORDER", "Histogram", "MsgClass", "RunningStat", "StatGroup",
+    "TrafficMeter", "bytes_per_miss", "geometric_mean", "normalize",
+    "ratio_interval", "stacked_bar", "t_interval",
+]

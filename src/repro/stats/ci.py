@@ -1,0 +1,68 @@
+"""Confidence intervals over repeated seeded runs.
+
+The paper performs "multiple runs with small random perturbations and
+different random seeds to plot 95% confidence intervals" (Section 8.1).
+We reproduce that methodology with Student-t intervals over per-seed
+results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.half_width:.2g} "
+                f"({self.confidence:.0%}, n={self.n})")
+
+
+def t_interval(samples: Sequence[float],
+               confidence: float = 0.95) -> ConfidenceInterval:
+    """Student-t confidence interval of the mean of ``samples``."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean, 0.0, confidence, 1)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    critical = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(mean, critical * sem, confidence, n)
+
+
+def ratio_interval(numerators: Sequence[float],
+                   denominator_mean: float,
+                   confidence: float = 0.95) -> ConfidenceInterval:
+    """CI of per-run values normalized by a fixed baseline mean.
+
+    Used for "normalized runtime" plots where each configuration's runs are
+    divided by the baseline configuration's mean runtime.
+    """
+    if denominator_mean <= 0:
+        raise ValueError("denominator_mean must be positive")
+    return t_interval([x / denominator_mean for x in numerators], confidence)

@@ -1,0 +1,170 @@
+"""Generic statistics primitives: counters, running means, EWMA, histograms."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named integer counter with convenient arithmetic."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RunningStat:
+    """Welford-style running mean/variance of a stream of samples."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another RunningStat into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min, self.max = other.min, other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)  # type: ignore[arg-type]
+        self.max = max(self.max, other.max)  # type: ignore[arg-type]
+
+
+class Ewma:
+    """Exponentially weighted moving average.
+
+    PATCH uses this to track the dynamic average round-trip latency that
+    parameterizes the tenure timeout (paper Section 5.2).
+    """
+
+    __slots__ = ("alpha", "_value")
+
+    def __init__(self, alpha: float = 0.125, initial: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value = initial
+
+    def add(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency distributions."""
+
+    def __init__(self, bucket_width: int = 10, max_buckets: int = 512) -> None:
+        if bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        self.bucket_width = bucket_width
+        self.max_buckets = max_buckets
+        self.buckets: Dict[int, int] = defaultdict(int)
+        self.stat = RunningStat()
+
+    def add(self, value: float) -> None:
+        index = min(int(value) // self.bucket_width, self.max_buckets - 1)
+        self.buckets[index] += 1
+        self.stat.add(value)
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile from bucket midpoints (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        total = self.stat.count
+        if total == 0:
+            return 0.0
+        target = total * p / 100.0
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return (index + 0.5) * self.bucket_width
+        return (max(self.buckets) + 0.5) * self.bucket_width
+
+
+class StatGroup:
+    """A bag of named counters, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def value(self, name: str) -> int:
+        return self._counters[name].value if name in self._counters else 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def names(self) -> List[str]:
+        return sorted(self._counters)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; conventional for normalized-runtime summaries."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

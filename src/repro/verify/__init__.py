@@ -1,0 +1,10 @@
+"""Verification: invariants, data-integrity model, starvation watchdog."""
+
+from repro.verify.invariants import (CoherenceViolation, IntegrityChecker,
+                                     audit_single_writer,
+                                     audit_token_conservation)
+from repro.verify.watchdog import StarvationError, check_all_done, describe_stall
+
+__all__ = ["CoherenceViolation", "IntegrityChecker", "StarvationError",
+           "audit_single_writer", "audit_token_conservation",
+           "check_all_done", "describe_stall"]

@@ -1,0 +1,11 @@
+"""Workload generators: synthetic sharing patterns + the microbenchmark."""
+
+from repro.workloads.base import Access, WorkloadGenerator
+from repro.workloads.micro import MicrobenchWorkload
+from repro.workloads.presets import PRESETS, WORKLOAD_NAMES, make_workload
+from repro.workloads.synthetic import (SharingMix, SyntheticParams,
+                                       SyntheticWorkload)
+
+__all__ = ["Access", "MicrobenchWorkload", "PRESETS", "SharingMix",
+           "SyntheticParams", "SyntheticWorkload", "WORKLOAD_NAMES",
+           "WorkloadGenerator", "make_workload"]

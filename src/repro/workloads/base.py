@@ -1,0 +1,25 @@
+"""Workload generator interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory reference issued by a core."""
+
+    block: int
+    is_write: bool
+    think_time: int = 0
+
+
+class WorkloadGenerator:
+    """Produces the per-core reference stream.
+
+    Implementations must be deterministic for a given seed: the same
+    sequence of ``next_access`` calls yields the same accesses.
+    """
+
+    def next_access(self, core_id: int) -> Access:
+        raise NotImplementedError

@@ -1,0 +1,38 @@
+"""The paper's scalability microbenchmark (Section 8.1).
+
+"a simple microbenchmark wherein each core writes a random entry in a
+fixed-size table (16k locations) 30% of the time and reads a random entry
+70% of the time."
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.base import Access, WorkloadGenerator
+
+
+class MicrobenchWorkload(WorkloadGenerator):
+    """Uniform random reads (70%) / writes (30%) over a shared table."""
+
+    def __init__(self, num_cores: int, seed: int = 1,
+                 table_blocks: int = 16 * 1024,
+                 write_fraction: float = 0.30,
+                 think_time_max: int = 8) -> None:
+        if table_blocks < 1:
+            raise ValueError("table_blocks must be positive")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.num_cores = num_cores
+        self.table_blocks = table_blocks
+        self.write_fraction = write_fraction
+        self.think_time_max = think_time_max
+        self._rngs = [random.Random(f"{seed}-micro-{core}")
+                      for core in range(num_cores)]
+
+    def next_access(self, core_id: int) -> Access:
+        rng = self._rngs[core_id]
+        block = rng.randrange(self.table_blocks)
+        is_write = rng.random() < self.write_fraction
+        think = rng.randint(0, self.think_time_max)
+        return Access(block, is_write, think)

@@ -1,0 +1,137 @@
+"""Parameterized synthetic sharing-pattern workload.
+
+The paper evaluates on SPLASH-2 and Wisconsin commercial workloads, which
+we cannot run (no Simics/SPARC full-system stack).  The protocols only see
+the reference stream, so we substitute generators that reproduce the
+*sharing-pattern mix* that drives every protocol-level effect the paper
+measures:
+
+* ``private``   — per-core working set; hits and capacity misses.
+* ``migratory`` — lock-protected data: a core reads then writes the same
+  block before another core takes it (classic migratory sharing; this is
+  the pattern that makes directory indirection expensive and direct
+  requests/migratory optimization valuable).
+* ``producer_consumer`` — one writer core per block, several readers.
+* ``read_mostly`` — widely shared, rarely written data.
+
+Weights, pool sizes and think times are tuned per benchmark preset in
+:mod:`repro.workloads.presets`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.workloads.base import Access, WorkloadGenerator
+
+CATEGORIES = ("private", "migratory", "producer_consumer", "read_mostly")
+
+
+@dataclass(frozen=True)
+class SharingMix:
+    """Weights (relative, not necessarily normalized) per category."""
+
+    private: float = 0.5
+    migratory: float = 0.2
+    producer_consumer: float = 0.2
+    read_mostly: float = 0.1
+
+    def weights(self) -> List[float]:
+        values = [self.private, self.migratory, self.producer_consumer,
+                  self.read_mostly]
+        if any(v < 0 for v in values) or sum(values) <= 0:
+            raise ValueError("sharing mix weights must be non-negative "
+                             "and not all zero")
+        return values
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Knobs for the synthetic generator."""
+
+    mix: SharingMix = SharingMix()
+    private_blocks_per_core: int = 512   # vs cache capacity => miss ratio
+    migratory_blocks: int = 64
+    producer_consumer_blocks: int = 128
+    read_mostly_blocks: int = 128
+    private_write_fraction: float = 0.4
+    read_mostly_write_fraction: float = 0.02
+    consumer_read_fraction: float = 0.8  # readers vs the producer writing
+    think_time_max: int = 20
+
+
+class SyntheticWorkload(WorkloadGenerator):
+    """Deterministic per-seed synthetic reference stream."""
+
+    def __init__(self, num_cores: int, params: SyntheticParams,
+                 seed: int = 1, block_offset: int = 0) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
+        self.num_cores = num_cores
+        self.params = params
+        self._rngs = [random.Random(f"{seed}-syn-{core}") for core in range(num_cores)]
+        self._weights = params.mix.weights()
+        # A pending follow-up write per core (migratory read-then-write).
+        self._pending: List[Optional[Access]] = [None] * num_cores
+        # Address map: disjoint block ranges per region.
+        base = block_offset
+        self._private_base = base
+        base += params.private_blocks_per_core * num_cores
+        self._migratory_base = base
+        base += params.migratory_blocks
+        self._pc_base = base
+        base += params.producer_consumer_blocks
+        self._rm_base = base
+        base += params.read_mostly_blocks
+        self.total_blocks = base - block_offset
+
+    # ------------------------------------------------------------------
+    def next_access(self, core_id: int) -> Access:
+        pending = self._pending[core_id]
+        if pending is not None:
+            self._pending[core_id] = None
+            return pending
+        rng = self._rngs[core_id]
+        category = rng.choices(CATEGORIES, weights=self._weights)[0]
+        builder = {
+            "private": self._private_access,
+            "migratory": self._migratory_access,
+            "producer_consumer": self._pc_access,
+            "read_mostly": self._rm_access,
+        }[category]
+        return builder(core_id, rng)
+
+    def _think(self, rng: random.Random) -> int:
+        return rng.randint(0, self.params.think_time_max)
+
+    def _private_access(self, core_id: int, rng: random.Random) -> Access:
+        p = self.params
+        block = (self._private_base + core_id * p.private_blocks_per_core
+                 + rng.randrange(p.private_blocks_per_core))
+        is_write = rng.random() < p.private_write_fraction
+        return Access(block, is_write, self._think(rng))
+
+    def _migratory_access(self, core_id: int, rng: random.Random) -> Access:
+        """Read-then-write on the same block (critical-section pattern)."""
+        p = self.params
+        block = self._migratory_base + rng.randrange(p.migratory_blocks)
+        self._pending[core_id] = Access(block, True, self._think(rng))
+        return Access(block, False, 0)
+
+    def _pc_access(self, core_id: int, rng: random.Random) -> Access:
+        p = self.params
+        block = self._pc_base + rng.randrange(p.producer_consumer_blocks)
+        producer = (block - self._pc_base) % self.num_cores
+        if core_id == producer:
+            is_write = rng.random() > p.consumer_read_fraction / 2
+        else:
+            is_write = rng.random() > p.consumer_read_fraction
+        return Access(block, is_write, self._think(rng))
+
+    def _rm_access(self, core_id: int, rng: random.Random) -> Access:
+        p = self.params
+        block = self._rm_base + rng.randrange(p.read_mostly_blocks)
+        is_write = rng.random() < p.read_mostly_write_fraction
+        return Access(block, is_write, self._think(rng))

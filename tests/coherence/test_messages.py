@@ -1,0 +1,41 @@
+"""Coherence message vocabulary tests."""
+
+import pytest
+
+from repro.coherence.messages import (CoherenceMsg, MsgType, next_txn_id)
+from repro.coherence.tokens import TokenCount
+
+
+def test_rule4_dirty_owner_token_needs_data():
+    with pytest.raises(ValueError, match="Rule #4"):
+        CoherenceMsg(mtype=MsgType.ACK, block=1, requester=0, sender=1,
+                     tokens=TokenCount(2, owner=True, dirty=True),
+                     has_data=False)
+
+
+def test_clean_owner_token_may_travel_without_data():
+    msg = CoherenceMsg(mtype=MsgType.TOKEN_WB, block=1, requester=0,
+                       sender=1, tokens=TokenCount(1, owner=True),
+                       has_data=False)
+    assert msg.tokens.owner
+
+
+def test_txn_ids_are_monotonic():
+    first = next_txn_id()
+    second = next_txn_id()
+    assert second > first
+
+
+def test_describe_mentions_key_fields():
+    msg = CoherenceMsg(mtype=MsgType.DATA, block=7, requester=2, sender=3,
+                       tokens=TokenCount(2, owner=True), has_data=True,
+                       acks_expected=4)
+    text = msg.describe()
+    assert "DATA" in text and "blk=7" in text and "acks=4" in text
+
+
+def test_default_message_is_control_like():
+    msg = CoherenceMsg(mtype=MsgType.GETS, block=0, requester=1, sender=1)
+    assert msg.tokens.is_zero
+    assert not msg.has_data
+    assert not msg.to_home

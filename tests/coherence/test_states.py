@@ -1,0 +1,89 @@
+"""Table 2: MOESI state <-> token count mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.states import (DIRTY_STATES, OWNER_STATES, READABLE,
+                                    WRITABLE, CacheState, state_from_tokens,
+                                    tokens_consistent_with)
+from repro.coherence.tokens import ZERO, TokenCount
+
+T = 8  # tokens per block in these tests
+
+
+def tc(count, owner=False, dirty=False):
+    return TokenCount(count, owner, dirty)
+
+
+# Each row of the paper's Table 2.
+
+def test_all_tokens_dirty_owner_is_m():
+    assert state_from_tokens(tc(T, True, True), T, True) is CacheState.M
+
+
+def test_some_tokens_dirty_owner_is_o():
+    assert state_from_tokens(tc(3, True, True), T, True) is CacheState.O
+
+
+def test_all_tokens_clean_owner_is_e():
+    assert state_from_tokens(tc(T, True, False), T, True) is CacheState.E
+
+
+def test_some_tokens_clean_owner_is_f():
+    assert state_from_tokens(tc(2, True, False), T, True) is CacheState.F
+
+
+def test_some_tokens_no_owner_is_s():
+    assert state_from_tokens(tc(3), T, True) is CacheState.S
+
+
+def test_no_tokens_is_i():
+    assert state_from_tokens(ZERO, T, True) is CacheState.I
+
+
+def test_tokens_without_data_confer_no_permission():
+    # A holding without valid data cannot be read (Rule #3); the line is I.
+    assert state_from_tokens(tc(3, True), T, False) is CacheState.I
+
+
+def test_single_owner_token_is_f_when_others_exist():
+    assert state_from_tokens(tc(1, True), T, True) is CacheState.F
+
+
+def test_single_token_system_owner_is_exclusive():
+    assert state_from_tokens(tc(1, True), 1, True) is CacheState.E
+
+
+def test_more_tokens_than_total_rejected():
+    with pytest.raises(ValueError):
+        state_from_tokens(tc(9), T, True)
+
+
+def test_state_sets_are_consistent():
+    assert CacheState.M in WRITABLE
+    assert WRITABLE <= READABLE
+    assert DIRTY_STATES <= OWNER_STATES
+    assert CacheState.I not in READABLE
+
+
+def test_tokens_consistent_with_table():
+    assert tokens_consistent_with(CacheState.M, tc(T, True, True), T)
+    assert tokens_consistent_with(CacheState.I, ZERO, T)
+    assert not tokens_consistent_with(CacheState.M, tc(3, True, True), T)
+    assert not tokens_consistent_with(CacheState.I, tc(1), T)
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_mapping_is_total_and_unambiguous(total, data):
+    count = data.draw(st.integers(min_value=0, max_value=total))
+    owner = data.draw(st.booleans()) if count >= 1 else False
+    dirty = data.draw(st.booleans()) if owner else False
+    tokens = TokenCount(count, owner, dirty)
+    state = state_from_tokens(tokens, total, True)
+    # Writers hold all tokens; readers hold at least one (Rules #2, #3).
+    if state in (CacheState.M, CacheState.E):
+        assert tokens.is_all(total)
+    if state is not CacheState.I:
+        assert tokens.count >= 1
+    else:
+        assert tokens.count == 0

@@ -1,0 +1,201 @@
+"""Token algebra tests: Table 1's rules enforced structurally."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.tokens import (ZERO, TokenCount, TokenError,
+                                    initial_tokens, requires_data)
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+def test_zero_has_no_tokens():
+    assert ZERO.is_zero
+    assert not ZERO.owner
+    assert not ZERO.dirty
+
+
+def test_negative_count_rejected():
+    with pytest.raises(TokenError):
+        TokenCount(-1)
+
+
+def test_owner_requires_at_least_one_token():
+    with pytest.raises(TokenError):
+        TokenCount(0, owner=True)
+
+
+def test_dirty_requires_owner():
+    with pytest.raises(TokenError):
+        TokenCount(3, owner=False, dirty=True)
+
+
+def test_initial_tokens_is_all_clean_owner():
+    tokens = initial_tokens(8)
+    assert tokens.count == 8
+    assert tokens.owner and not tokens.dirty
+    assert tokens.is_all(8)
+
+
+def test_initial_tokens_requires_positive_total():
+    with pytest.raises(TokenError):
+        initial_tokens(0)
+
+
+# ---------------------------------------------------------------------------
+# Rule #1: conservation via checked merges
+# ---------------------------------------------------------------------------
+
+def test_add_merges_counts():
+    merged = TokenCount(2).add(TokenCount(3))
+    assert merged.count == 5
+    assert not merged.owner
+
+
+def test_add_carries_owner_and_dirty():
+    merged = TokenCount(2).add(TokenCount(1, owner=True, dirty=True))
+    assert merged.count == 3
+    assert merged.owner and merged.dirty
+
+
+def test_two_owner_tokens_rejected():
+    a = TokenCount(1, owner=True)
+    b = TokenCount(2, owner=True)
+    with pytest.raises(TokenError):
+        a.add(b)
+
+
+def test_add_zero_is_identity():
+    tokens = TokenCount(4, owner=True, dirty=True)
+    assert tokens.add(ZERO) == tokens
+    assert ZERO.add(tokens) == tokens
+
+
+# ---------------------------------------------------------------------------
+# Splitting
+# ---------------------------------------------------------------------------
+
+def test_take_plain_tokens():
+    taken, remaining = TokenCount(5, owner=True).take(2)
+    assert taken == TokenCount(2)
+    assert remaining == TokenCount(3, owner=True)
+
+
+def test_take_owner_token():
+    taken, remaining = TokenCount(5, owner=True, dirty=True).take(
+        1, take_owner=True)
+    assert taken.owner and taken.dirty and taken.count == 1
+    assert remaining == TokenCount(4)
+
+
+def test_take_more_than_held_rejected():
+    with pytest.raises(TokenError):
+        TokenCount(2).take(3)
+
+
+def test_take_owner_without_owner_rejected():
+    with pytest.raises(TokenError):
+        TokenCount(2).take(1, take_owner=True)
+
+
+def test_cannot_strand_owner_with_zero_count():
+    # Taking all plain tokens away from an owner holding would leave the
+    # owner token with count 0, which is unrepresentable.
+    with pytest.raises(TokenError):
+        TokenCount(2, owner=True).take(2, take_owner=False)
+
+
+def test_take_all():
+    tokens = TokenCount(4, owner=True)
+    taken, remaining = tokens.take_all()
+    assert taken == tokens
+    assert remaining is ZERO
+
+
+# ---------------------------------------------------------------------------
+# Rule #2 (write -> dirty) and Rule #1 (memory cleans)
+# ---------------------------------------------------------------------------
+
+def test_mark_dirty_requires_owner():
+    with pytest.raises(TokenError):
+        TokenCount(3).mark_dirty()
+
+
+def test_mark_dirty_and_clean_round_trip():
+    tokens = TokenCount(3, owner=True).mark_dirty()
+    assert tokens.dirty
+    cleaned = tokens.mark_clean()
+    assert cleaned.owner and not cleaned.dirty
+
+
+def test_mark_clean_without_owner_is_identity():
+    assert TokenCount(2).mark_clean() == TokenCount(2)
+
+
+# ---------------------------------------------------------------------------
+# Rule #4: dirty owner token requires data
+# ---------------------------------------------------------------------------
+
+def test_requires_data_only_for_dirty_owner():
+    assert requires_data(TokenCount(1, owner=True, dirty=True))
+    assert not requires_data(TokenCount(1, owner=True, dirty=False))
+    assert not requires_data(TokenCount(3))
+    assert not requires_data(ZERO)
+
+
+# ---------------------------------------------------------------------------
+# is_all: write permission needs every token including the owner token
+# ---------------------------------------------------------------------------
+
+def test_is_all_needs_owner():
+    assert not TokenCount(8).is_all(8)
+    assert TokenCount(8, owner=True).is_all(8)
+    assert not TokenCount(7, owner=True).is_all(8)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: conservation under arbitrary split/merge sequences
+# ---------------------------------------------------------------------------
+
+@st.composite
+def holdings(draw, max_total=32):
+    total = draw(st.integers(min_value=1, max_value=max_total))
+    dirty = draw(st.booleans())
+    return initial_tokens(total).mark_dirty() if dirty else initial_tokens(total)
+
+
+@given(holdings(), st.data())
+def test_split_then_merge_conserves(tokens, data):
+    take = data.draw(st.integers(min_value=0, max_value=tokens.count))
+    take_owner = data.draw(st.booleans())
+    try:
+        taken, remaining = tokens.take(take, take_owner=take_owner)
+    except TokenError:
+        return  # illegal split: fine, nothing moved
+    merged = taken.add(remaining)
+    assert merged.count == tokens.count
+    assert merged.owner == tokens.owner
+    assert merged.dirty == tokens.dirty
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_repeated_splits_never_duplicate_owner(total, data):
+    pieces = [initial_tokens(total)]
+    for _ in range(data.draw(st.integers(min_value=0, max_value=8))):
+        index = data.draw(st.integers(min_value=0, max_value=len(pieces) - 1))
+        piece = pieces[index]
+        if piece.count == 0:
+            continue
+        count = data.draw(st.integers(min_value=0, max_value=piece.count))
+        take_owner = data.draw(st.booleans()) and piece.owner
+        try:
+            taken, remaining = piece.take(count, take_owner=take_owner)
+        except TokenError:
+            continue
+        pieces[index] = remaining
+        pieces.append(taken)
+    owners = [p for p in pieces if p.owner]
+    assert len(owners) == 1
+    assert sum(p.count for p in pieces) == total

@@ -1,0 +1,52 @@
+"""Text-table and chart rendering."""
+
+from repro.analysis import bar_chart, format_table, series_chart
+
+
+def test_format_table_alignment():
+    text = format_table("Title", ["a", "longheader"],
+                        [["x", 1], ["yy", 22]])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "longheader" in lines[2]
+    assert len({len(line) for line in lines[1::2] if set(line) == {"-"}}) == 1
+
+
+def test_format_table_empty_rows():
+    text = format_table("T", ["col"], [])
+    assert "col" in text
+
+
+def test_bar_chart_scales_to_peak():
+    text = bar_chart("chart", {"a": 10.0, "b": 5.0}, width=20)
+    lines = text.splitlines()
+    bar_a = lines[1].count("#")
+    bar_b = lines[2].count("#")
+    assert bar_a == 20
+    assert 9 <= bar_b <= 11
+
+
+def test_bar_chart_empty_and_zero():
+    assert "(no data)" in bar_chart("c", {})
+    assert "(all zero)" in bar_chart("c", {"a": 0.0})
+
+
+def test_bar_chart_reference_marker():
+    text = bar_chart("c", {"a": 2.0, "b": 1.0}, width=20, reference=1.0)
+    assert "|" in text
+
+
+def test_series_chart_renders_all_series():
+    text = series_chart("s", [1, 2, 3],
+                        {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]})
+    assert "A=up" in text and "B=down" in text
+    assert "A" in text and "B" in text
+
+
+def test_series_chart_flat_series():
+    text = series_chart("s", [1, 2], {"flat": [1.0, 1.0]})
+    assert "A=flat" in text
+
+
+def test_series_chart_empty():
+    assert "(no data)" in series_chart("s", [], {})

@@ -1,0 +1,87 @@
+"""CLI tests: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_protocol():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "mesi"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "oltp" in out
+    assert "PATCH-All" in out
+    assert "microbench" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "--protocol", "patch", "--predictor", "all",
+                 "--workload", "microbench", "--cores", "4",
+                 "--refs", "30"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cycles" in out
+    assert "traffic/miss" in out
+
+
+def test_run_command_directory(capsys):
+    code = main(["run", "--protocol", "directory", "--workload", "jbb",
+                 "--cores", "4", "--refs", "25"])
+    assert code == 0
+    assert "directory" in capsys.readouterr().out
+
+
+def test_run_command_nonadaptive_and_coarse(capsys):
+    code = main(["run", "--protocol", "patch", "--predictor", "all",
+                 "--non-adaptive", "--coarseness", "4",
+                 "--workload", "microbench", "--cores", "4",
+                 "--refs", "20"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "-NA" in out
+    assert "enc=1:4" in out
+
+
+def test_fig4_command(capsys):
+    code = main(["fig4", "--cores", "4", "--refs", "20",
+                 "--workloads", "microbench"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "Token Coherence" in out
+
+
+def test_fig6_command(capsys):
+    # Tiny sweep through the real code path.
+    import repro.cli as cli
+    import repro.core.sweeps as sweeps
+    code = main(["fig6", "--cores", "4", "--refs", "15",
+                 "--workload", "microbench"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "PATCH-All-NA" in out
+
+
+def test_fig8_command(capsys):
+    code = main(["fig8", "--max-cores", "8"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    assert "8" in out
+
+
+def test_fig9_command(capsys):
+    code = main(["fig9", "--cores", "8", "--refs", "10"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figures 9/10" in out
+    assert "1:8" in out

@@ -1,0 +1,101 @@
+"""SystemConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import SystemConfig, torus_dims_for
+
+
+def test_torus_dims_square():
+    assert torus_dims_for(64) == (8, 8)
+    assert torus_dims_for(16) == (4, 4)
+
+
+def test_torus_dims_rectangular():
+    assert torus_dims_for(32) == (8, 4)
+    assert torus_dims_for(512) == (32, 16)
+    assert torus_dims_for(2) == (2, 1)
+
+
+def test_torus_dims_prime_degrades_to_ring():
+    assert torus_dims_for(7) == (7, 1)
+
+
+def test_torus_dims_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        torus_dims_for(0)
+
+
+def test_default_config_matches_paper_parameters():
+    config = SystemConfig()
+    assert config.block_size == 64
+    assert config.cache_assoc == 4
+    assert config.cache_latency == 12
+    assert config.directory_latency == 16
+    assert config.dram_latency == 80
+    assert config.link_bandwidth == 16.0
+    assert config.total_link_latency == 15
+    assert config.direct_request_drop_age == 100
+
+
+def test_tokens_per_block_is_one_per_core():
+    assert SystemConfig(num_cores=16).tokens_per_block == 16
+
+
+def test_dims_derived_from_cores():
+    config = SystemConfig(num_cores=64)
+    assert config.torus_dims == (8, 8)
+
+
+def test_explicit_dims_validated():
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=16, torus_dims=(3, 3))
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(protocol="mesi")
+
+
+def test_unknown_predictor_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(predictor="psychic")
+
+
+def test_coarseness_bounds():
+    SystemConfig(num_cores=16, encoding_coarseness=16)
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=16, encoding_coarseness=17)
+    with pytest.raises(ValueError):
+        SystemConfig(num_cores=16, encoding_coarseness=0)
+
+
+def test_with_updates_creates_variant():
+    base = SystemConfig(num_cores=16)
+    variant = base.with_updates(protocol="patch", predictor="all")
+    assert variant.protocol == "patch"
+    assert base.protocol == "directory"   # original untouched
+
+
+def test_with_updates_rederives_torus():
+    base = SystemConfig(num_cores=16)
+    bigger = base.with_updates(num_cores=64, torus_dims=None)
+    assert bigger.torus_dims == (8, 8)
+
+
+def test_hop_latency_approximates_total():
+    config = SystemConfig(num_cores=64)
+    dx, dy = config.torus_dims
+    avg_hops = dx / 4 + dy / 4
+    assert abs(config.hop_latency * avg_hops - 15) <= avg_hops
+
+
+def test_cache_geometry_derived():
+    config = SystemConfig(cache_kb=64, block_size=64, cache_assoc=4)
+    assert config.num_blocks_in_cache == 1024
+    assert config.cache_sets == 256
+
+
+def test_describe_mentions_variant():
+    text = SystemConfig(protocol="patch", predictor="all",
+                        best_effort_direct=False).describe()
+    assert "patch" in text and "all" in text and "-NA" in text

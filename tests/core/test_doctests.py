@@ -1,0 +1,23 @@
+"""Run the doctests embedded in key public modules."""
+
+import doctest
+
+import pytest
+
+import repro.config
+import repro.model
+import repro.sim.kernel
+import repro.stats.counters
+
+MODULES = [repro.config, repro.model, repro.sim.kernel,
+           repro.stats.counters]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # The modules above each carry at least one executable example.
+    if module in (repro.config, repro.model, repro.sim.kernel):
+        assert results.attempted > 0

@@ -1,0 +1,95 @@
+"""Experiment runner and sweep machinery."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
+                               ExperimentResult, compare_configs,
+                               normalized_runtimes, normalized_traffic,
+                               run_experiment, run_one)
+from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
+                               encoding_sweep, scalability_sweep)
+
+SMALL = SystemConfig(num_cores=4)
+
+
+def test_run_experiment_aggregates_seeds():
+    experiment = run_experiment(SMALL, "microbench", references_per_core=25,
+                                seeds=(1, 2, 3))
+    assert len(experiment.runs) == 3
+    ci = experiment.runtime_ci
+    assert ci.n == 3
+    assert ci.mean > 0
+
+
+def test_compare_configs_runs_all_variants():
+    variants = {"Directory": {"protocol": "directory"},
+                "PATCH-All": {"protocol": "patch", "predictor": "all"}}
+    results = compare_configs(SMALL, "microbench", references_per_core=25,
+                              variants=variants, seeds=(1,))
+    assert set(results) == {"Directory", "PATCH-All"}
+    normalized = normalized_runtimes(results)
+    assert normalized["Directory"] == pytest.approx(1.0)
+    assert normalized["PATCH-All"] > 0
+
+
+def test_normalized_traffic_baseline_sums_to_one():
+    variants = {"Directory": {"protocol": "directory"},
+                "PATCH-None": {"protocol": "patch", "predictor": "none"}}
+    results = compare_configs(SMALL, "oltp", references_per_core=40,
+                              variants=variants, seeds=(1,))
+    traffic = normalized_traffic(results)
+    assert sum(traffic["Directory"].values()) == pytest.approx(1.0)
+
+
+def test_coarseness_points_cover_range():
+    assert coarseness_points(64) == [1, 4, 16, 64]
+    assert coarseness_points(256) == [1, 4, 16, 64, 256]
+    assert coarseness_points(8) == [1, 4, 8]
+
+
+def test_bandwidth_sweep_structure():
+    sweep = bandwidth_sweep(SMALL, "microbench", references_per_core=15,
+                            bandwidths=(2.0, 16.0), seeds=(1,),
+                            variants={"Directory": {"protocol": "directory"},
+                                      "PATCH-All": {"protocol": "patch",
+                                                    "predictor": "all"}})
+    assert set(sweep) == {2.0, 16.0}
+    for row in sweep.values():
+        assert set(row) == {"Directory", "PATCH-All"}
+        for experiment in row.values():
+            assert experiment.runtime_mean > 0
+
+
+def test_scalability_sweep_scales_refs():
+    sweep = scalability_sweep(
+        SMALL, core_counts=(4, 8), references_for={4: 20, 8: 10},
+        seeds=(1,),
+        variants={"Directory": {"protocol": "directory"}})
+    assert set(sweep) == {4, 8}
+    assert sweep[4]["Directory"].runs[0].total_references == 4 * 20
+    assert sweep[8]["Directory"].runs[0].total_references == 8 * 10
+
+
+def test_encoding_sweep_compares_directory_and_patch():
+    sweep = encoding_sweep(SMALL, num_cores=8, references_per_core=15,
+                           coarseness_values=(1, 8), seeds=(1,))
+    assert set(sweep) == {"Directory", "PATCH"}
+    assert set(sweep["Directory"]) == {1, 8}
+    for per_label in sweep.values():
+        for experiment in per_label.values():
+            assert experiment.runtime_mean > 0
+
+
+def test_adaptivity_configs_named_like_paper():
+    assert set(ADAPTIVITY_CONFIGS) == {"Directory", "PATCH-All-NA",
+                                       "PATCH-All"}
+    assert ADAPTIVITY_CONFIGS["PATCH-All-NA"]["best_effort_direct"] is False
+
+
+def test_experiment_result_traffic_means():
+    experiment = run_experiment(SMALL, "microbench", references_per_core=20,
+                                seeds=(1, 2))
+    per_miss = experiment.traffic_per_miss_mean()
+    assert per_miss["Data"] > 0
+    assert experiment.bytes_per_miss_mean > 0

@@ -1,0 +1,87 @@
+"""In-order core model tests."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.sim.kernel import Simulator
+from repro.workloads.base import Access
+from tests.helpers import ScriptedWorkload
+
+
+class InstantController:
+    """Completes every access after a fixed latency."""
+
+    def __init__(self, sim, latency=10):
+        self.sim = sim
+        self.latency = latency
+        self.log = []
+
+    def access(self, block, is_write, done):
+        self.log.append((self.sim.now, block, is_write))
+        self.sim.schedule(self.latency, done)
+
+
+def test_core_retires_its_quota():
+    sim = Simulator()
+    controller = InstantController(sim)
+    workload = ScriptedWorkload({0: [(i, False) for i in range(5)]})
+    core = Core(0, sim, controller, workload, references=5)
+    core.start()
+    sim.run()
+    assert core.done
+    assert core.retired == 5
+    assert len(controller.log) == 5
+
+
+def test_core_is_in_order_one_outstanding():
+    sim = Simulator()
+    controller = InstantController(sim, latency=10)
+    workload = ScriptedWorkload({0: [(i, False) for i in range(3)]})
+    core = Core(0, sim, controller, workload, references=3)
+    core.start()
+    sim.run()
+    times = [t for t, _, _ in controller.log]
+    assert times == sorted(times)
+    assert times[1] - times[0] >= 10   # waited for completion
+
+
+def test_core_honors_think_time():
+    sim = Simulator()
+    controller = InstantController(sim, latency=10)
+    workload = ScriptedWorkload({0: [Access(0, False, 50),
+                                     Access(1, False, 0)]})
+    core = Core(0, sim, controller, workload, references=2)
+    core.start()
+    sim.run()
+    times = [t for t, _, _ in controller.log]
+    assert times[1] - times[0] >= 60   # latency + think time
+
+
+def test_core_finish_callback_and_time():
+    sim = Simulator()
+    controller = InstantController(sim)
+    workload = ScriptedWorkload({0: [(0, False)]})
+    finished = []
+    core = Core(0, sim, controller, workload, references=1,
+                on_finish=finished.append)
+    core.start()
+    sim.run()
+    assert finished == [0]
+    assert core.finish_time == sim.now
+
+
+def test_zero_quota_core_finishes_immediately():
+    sim = Simulator()
+    controller = InstantController(sim)
+    finished = []
+    core = Core(0, sim, controller, ScriptedWorkload({0: []}), references=0,
+                on_finish=finished.append)
+    core.start()
+    assert core.done and finished == [0]
+
+
+def test_negative_quota_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Core(0, sim, InstantController(sim), ScriptedWorkload({0: []}),
+             references=-1)

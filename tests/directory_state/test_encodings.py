@@ -1,0 +1,127 @@
+"""Sharer encodings: full map exactness, coarse-vector supersets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.directory_state.encodings import (CoarseVector, FullMap,
+                                             inexactness, make_encoding)
+
+
+# ---------------------------------------------------------------------------
+# FullMap
+# ---------------------------------------------------------------------------
+
+def test_full_map_add_remove():
+    enc = FullMap(8)
+    enc.add(3)
+    enc.add(5)
+    assert enc.sharers() == {3, 5}
+    enc.remove(3)
+    assert enc.sharers() == {5}
+
+
+def test_full_map_might_contain():
+    enc = FullMap(8)
+    enc.add(2)
+    assert enc.might_contain(2)
+    assert not enc.might_contain(3)
+
+
+def test_full_map_clear():
+    enc = FullMap(4)
+    enc.add(0)
+    enc.clear()
+    assert enc.sharers() == set()
+
+
+def test_full_map_bits():
+    assert FullMap(64).bits == 64
+
+
+def test_full_map_range_checked():
+    enc = FullMap(4)
+    with pytest.raises(ValueError):
+        enc.add(4)
+
+
+# ---------------------------------------------------------------------------
+# CoarseVector
+# ---------------------------------------------------------------------------
+
+def test_coarse_vector_names_whole_group():
+    enc = CoarseVector(8, coarseness=4)
+    enc.add(1)
+    assert enc.sharers() == {0, 1, 2, 3}
+
+
+def test_coarse_vector_single_bit_directory():
+    enc = CoarseVector(8, coarseness=8)
+    enc.add(6)
+    assert enc.sharers() == set(range(8))
+    assert enc.bits == 1
+
+
+def test_coarse_vector_remove_is_conservative():
+    enc = CoarseVector(8, coarseness=4)
+    enc.add(1)
+    enc.remove(1)   # cannot express: stays a superset
+    assert 1 in enc.sharers()
+
+
+def test_coarse_vector_clear_resets():
+    enc = CoarseVector(8, coarseness=4)
+    enc.add(1)
+    enc.clear()
+    assert enc.sharers() == set()
+
+
+def test_coarseness_one_behaves_like_full_map():
+    enc = CoarseVector(8, coarseness=1)
+    enc.add(3)
+    enc.remove(3)
+    assert enc.sharers() == set()
+
+
+def test_coarse_vector_bits_rounds_up():
+    assert CoarseVector(10, coarseness=4).bits == 3
+    assert CoarseVector(64, coarseness=16).bits == 4
+
+
+def test_coarseness_bounds_validated():
+    with pytest.raises(ValueError):
+        CoarseVector(8, coarseness=0)
+    with pytest.raises(ValueError):
+        CoarseVector(8, coarseness=9)
+
+
+def test_make_encoding_factory():
+    assert isinstance(make_encoding(8, 1), FullMap)
+    assert isinstance(make_encoding(8, 4), CoarseVector)
+
+
+def test_inexactness_counts_false_positives():
+    enc = CoarseVector(8, coarseness=4)
+    enc.add(0)
+    assert inexactness(enc, [0]) == 3
+    exact = FullMap(8)
+    exact.add(0)
+    assert inexactness(exact, [0]) == 0
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_coarse_vector_is_always_a_superset(num_cores, data):
+    coarseness = data.draw(st.integers(min_value=1, max_value=num_cores))
+    enc = CoarseVector(num_cores, coarseness)
+    added = set()
+    for _ in range(data.draw(st.integers(min_value=0, max_value=20))):
+        core = data.draw(st.integers(min_value=0, max_value=num_cores - 1))
+        if data.draw(st.booleans()):
+            enc.add(core)
+            added.add(core)
+        else:
+            enc.remove(core)
+            if coarseness == 1:
+                added.discard(core)
+    assert added <= enc.sharers()
+    for core in added:
+        assert enc.might_contain(core)

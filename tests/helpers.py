@@ -1,0 +1,119 @@
+"""Shared test utilities: build small systems and drive scripted accesses."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config import SystemConfig
+from repro.core.system import System
+from repro.interconnect.network import RandomDelayNetwork, TorusNetwork
+from repro.interconnect.topology import Torus2D
+from repro.sim.kernel import Simulator
+from repro.workloads.base import Access, WorkloadGenerator
+
+
+class ScriptedWorkload(WorkloadGenerator):
+    """Workload that returns a fixed per-core script of accesses."""
+
+    def __init__(self, scripts: dict) -> None:
+        # scripts: core_id -> list of (block, is_write) or Access
+        self._scripts = {
+            core: [a if isinstance(a, Access) else Access(a[0], a[1])
+                   for a in accesses]
+            for core, accesses in scripts.items()
+        }
+        self._positions = {core: 0 for core in scripts}
+
+    def quota(self, core_id: int) -> int:
+        return len(self._scripts.get(core_id, []))
+
+    def next_access(self, core_id: int) -> Access:
+        position = self._positions[core_id]
+        self._positions[core_id] += 1
+        return self._scripts[core_id][position]
+
+
+def make_config(protocol: str = "directory", cores: int = 4,
+                **overrides) -> SystemConfig:
+    defaults = dict(num_cores=cores, protocol=protocol)
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def make_system(protocol: str = "directory", cores: int = 4,
+                workload: Optional[WorkloadGenerator] = None,
+                references: int = 0, adversarial: bool = False,
+                net_seed: int = 0, drop_prob: float = 0.0,
+                max_delay: int = 60, **overrides) -> System:
+    """Build a System; adversarial=True uses the random-delay network."""
+    config = make_config(protocol, cores, **overrides)
+    if workload is None:
+        workload = ScriptedWorkload({c: [] for c in range(cores)})
+    network = None
+    if adversarial:
+        network = RandomDelayNetwork(Simulator(), cores,
+                                     random.Random(net_seed),
+                                     min_delay=1, max_delay=max_delay,
+                                     best_effort_drop_prob=drop_prob)
+    return System(config, workload, references, network=network)
+
+
+class AccessDriver:
+    """Issue individual accesses on a System and wait for completion."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+
+    def access(self, core: int, block: int, is_write: bool,
+               max_cycles: int = 1_000_000) -> int:
+        """Perform one access to completion; returns its latency."""
+        done: List[int] = []
+        sim = self.system.sim
+        start = sim.now
+        self.system.caches[core].access(block, is_write,
+                                        lambda: done.append(sim.now))
+        sim.run(until=start + max_cycles)
+        assert done, f"access by core {core} to block {block} did not complete"
+        return done[0] - start
+
+    def access_concurrent(self, requests, max_cycles: int = 1_000_000):
+        """Issue several (core, block, is_write) at once; run to completion."""
+        done = {i: False for i in range(len(requests))}
+
+        def mark(i):
+            done[i] = True
+
+        for i, (core, block, is_write) in enumerate(requests):
+            self.system.caches[core].access(block, is_write,
+                                            lambda i=i: mark(i))
+        start = self.system.sim.now
+        self.system.sim.run(until=start + max_cycles)
+        assert all(done.values()), f"incomplete: {done}"
+
+    def drain(self, cycles: int = 200_000) -> None:
+        self.system.sim.run(until=self.system.sim.now + cycles)
+
+
+def run_scripted(protocol: str, scripts: dict, cores: int = 4,
+                 adversarial: bool = False, net_seed: int = 0,
+                 **overrides) -> System:
+    """Run a per-core scripted workload to completion via the Core model."""
+    workload = ScriptedWorkload(scripts)
+    config = make_config(protocol, cores, **overrides)
+    network = None
+    if adversarial:
+        network = RandomDelayNetwork(Simulator(), cores,
+                                     random.Random(net_seed),
+                                     min_delay=1, max_delay=60)
+    quotas = {core: workload.quota(core) for core in range(cores)}
+    max_quota = max(quotas.values()) if quotas else 0
+    # System uses a single references_per_core; pad scripts to equal length
+    # by repeating a private block access.
+    for core in range(cores):
+        script = workload._scripts.setdefault(core, [])
+        while len(script) < max_quota:
+            script.append(Access(10_000 + core, False))
+    system = System(config, workload, max_quota, network=network)
+    result = system.run(max_cycles=5_000_000)
+    return system

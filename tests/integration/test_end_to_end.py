@@ -1,0 +1,120 @@
+"""End-to-end integration: every protocol x workload combination runs to
+completion with data-integrity checking and token audits enabled."""
+
+import pytest
+
+from repro import System, SystemConfig, make_workload
+from repro.core.runner import PAPER_CONFIGS, run_one
+from repro.workloads.presets import WORKLOAD_NAMES
+
+PROTOCOL_VARIANTS = [
+    ("directory", "none"),
+    ("patch", "none"),
+    ("patch", "owner"),
+    ("patch", "broadcast-if-shared"),
+    ("patch", "all"),
+    ("tokenb", "none"),
+]
+
+
+@pytest.mark.parametrize("protocol,predictor", PROTOCOL_VARIANTS)
+@pytest.mark.parametrize("workload_name", ["microbench", "oltp", "ocean"])
+def test_protocol_workload_matrix_completes(protocol, predictor,
+                                            workload_name):
+    config = SystemConfig(num_cores=8, protocol=protocol,
+                          predictor=predictor)
+    workload = make_workload(workload_name, num_cores=8, seed=3)
+    system = System(config, workload, references_per_core=60)
+    result = system.run()
+    assert result.total_references == 8 * 60
+    assert result.misses > 0
+    assert result.runtime_cycles > 0
+    # Integrity checker ran on every access.
+    assert system.integrity.reads_checked > 0
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOAD_NAMES))
+def test_all_presets_run_on_patch(workload_name):
+    config = SystemConfig(num_cores=4, protocol="patch", predictor="all")
+    workload = make_workload(workload_name, num_cores=4, seed=1)
+    result = System(config, workload, references_per_core=40).run()
+    assert result.total_references == 160
+
+
+def test_deterministic_given_seed():
+    def run():
+        config = SystemConfig(num_cores=4, protocol="patch",
+                              predictor="all", seed=7)
+        workload = make_workload("oltp", num_cores=4, seed=7)
+        return System(config, workload, references_per_core=50).run()
+
+    a, b = run(), run()
+    assert a.runtime_cycles == b.runtime_cycles
+    assert a.traffic_bytes == b.traffic_bytes
+    assert a.misses == b.misses
+
+
+def test_different_seeds_differ():
+    def run(seed):
+        config = SystemConfig(num_cores=4, protocol="directory", seed=seed)
+        workload = make_workload("microbench", num_cores=4, seed=seed)
+        return System(config, workload, references_per_core=50).run()
+
+    assert run(1).runtime_cycles != run(2).runtime_cycles
+
+
+def test_run_one_helper():
+    config = SystemConfig(num_cores=4, protocol="directory")
+    result = run_one(config, "microbench", references_per_core=30, seed=5)
+    assert result.total_references == 120
+
+
+def test_paper_configs_cover_figure4_bars():
+    assert list(PAPER_CONFIGS) == ["Directory", "PATCH-None", "PATCH-Owner",
+                                   "Broadcast-If-Shared", "PATCH-All",
+                                   "Token Coherence"]
+
+
+def test_traffic_accounting_sums_to_total():
+    config = SystemConfig(num_cores=8, protocol="patch", predictor="all")
+    workload = make_workload("apache", num_cores=8, seed=2)
+    result = System(config, workload, references_per_core=50).run()
+    assert sum(result.traffic_bytes.values()) == \
+        sum(result.traffic_bytes_raw.values())
+    assert result.bytes_per_miss > 0
+
+
+def test_miss_latency_statistics_populated():
+    config = SystemConfig(num_cores=4, protocol="directory")
+    workload = make_workload("microbench", num_cores=4, seed=1)
+    result = System(config, workload, references_per_core=50).run()
+    assert result.miss_latency.count == result.misses
+    assert result.avg_miss_latency > 0
+    assert result.miss_latency.min >= 0
+
+
+def test_events_and_utilization_reported():
+    config = SystemConfig(num_cores=4, protocol="patch", predictor="all")
+    workload = make_workload("oltp", num_cores=4, seed=1)
+    result = System(config, workload, references_per_core=50).run()
+    assert result.events_processed > 0
+    assert 0.0 <= result.link_utilization <= 1.0
+
+
+def test_tokens_conserved_after_natural_run():
+    """The post-run audit (inside System.run) plus an explicit re-audit."""
+    from repro.verify.invariants import audit_token_conservation
+    config = SystemConfig(num_cores=8, protocol="patch", predictor="all")
+    workload = make_workload("oltp", num_cores=8, seed=4)
+    system = System(config, workload, references_per_core=80)
+    system.run()
+    if system.sim.pending() == 0:
+        audit_token_conservation(system)
+
+
+def test_larger_system_smoke_64_cores():
+    """A 64-core PATCH run (the paper's core count) completes."""
+    config = SystemConfig(num_cores=64, protocol="patch", predictor="owner")
+    workload = make_workload("jbb", num_cores=64, seed=1)
+    result = System(config, workload, references_per_core=15).run()
+    assert result.total_references == 64 * 15

@@ -1,0 +1,108 @@
+"""Race storms: high-contention workloads across all protocols and many
+seeds, with the integrity checker watching every access.
+
+These are the tests that would catch coherence races: a handful of hot
+blocks, every core reading and writing them continuously, adversarial
+network timing, best-effort drops.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import Access
+from tests.helpers import ScriptedWorkload, make_system
+
+HOT_BLOCKS = 3
+
+
+def storm_scripts(cores, accesses, seed, write_fraction=0.5):
+    rng = random.Random(seed)
+    return {
+        core: [Access(100 + rng.randrange(HOT_BLOCKS),
+                      rng.random() < write_fraction, rng.randrange(4))
+               for _ in range(accesses)]
+        for core in range(cores)
+    }
+
+
+@pytest.mark.parametrize("protocol,predictor", [
+    ("directory", "none"), ("patch", "none"), ("patch", "all"),
+    ("tokenb", "none")])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_storm_on_torus(protocol, predictor, seed):
+    scripts = storm_scripts(cores=6, accesses=15, seed=seed)
+    system = make_system(protocol, cores=6, predictor=predictor,
+                         workload=ScriptedWorkload(scripts), references=15)
+    result = system.run(max_cycles=10_000_000)
+    assert result.total_references == 6 * 15
+
+
+@pytest.mark.parametrize("protocol,predictor", [
+    ("patch", "all"), ("patch", "broadcast-if-shared"), ("tokenb", "none")])
+@pytest.mark.parametrize("seed", [3, 4])
+def test_storm_on_adversarial_network(protocol, predictor, seed):
+    scripts = storm_scripts(cores=5, accesses=12, seed=seed)
+    system = make_system(protocol, cores=5, predictor=predictor,
+                         adversarial=True, net_seed=seed, drop_prob=0.4,
+                         workload=ScriptedWorkload(scripts), references=12)
+    result = system.run(max_cycles=10_000_000)
+    assert result.total_references == 5 * 12
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       write_fraction=st.floats(min_value=0.1, max_value=0.9),
+       cores=st.integers(min_value=2, max_value=6))
+def test_patch_storms_hypothesis(seed, write_fraction, cores):
+    """Property: any contention pattern completes coherently on PATCH-ALL
+    over an adversarial network with drops."""
+    scripts = storm_scripts(cores=cores, accesses=8, seed=seed,
+                            write_fraction=write_fraction)
+    system = make_system("patch", cores=cores, predictor="all",
+                         adversarial=True, net_seed=seed, drop_prob=0.3,
+                         workload=ScriptedWorkload(scripts), references=8)
+    result = system.run(max_cycles=10_000_000)
+    assert result.total_references == cores * 8
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       cores=st.integers(min_value=2, max_value=5))
+def test_directory_storms_hypothesis(seed, cores):
+    scripts = storm_scripts(cores=cores, accesses=8, seed=seed)
+    system = make_system("directory", cores=cores,
+                         workload=ScriptedWorkload(scripts), references=8)
+    result = system.run(max_cycles=10_000_000)
+    assert result.total_references == cores * 8
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       cores=st.integers(min_value=2, max_value=5))
+def test_tokenb_storms_hypothesis(seed, cores):
+    scripts = storm_scripts(cores=cores, accesses=8, seed=seed)
+    system = make_system("tokenb", cores=cores, adversarial=True,
+                         net_seed=seed,
+                         workload=ScriptedWorkload(scripts), references=8)
+    result = system.run(max_cycles=20_000_000)
+    assert result.total_references == cores * 8
+
+
+def test_tiny_cache_thrash_storm():
+    """1-way 1KB caches + hot blocks: evictions and writebacks race with
+    forwards and invalidations."""
+    for protocol, predictor in [("directory", "none"), ("patch", "all"),
+                                ("tokenb", "none")]:
+        scripts = storm_scripts(cores=4, accesses=20, seed=9)
+        # Mix in conflicting private blocks to force evictions.
+        for core, script in scripts.items():
+            for i in range(0, len(script), 3):
+                script[i] = Access(1000 + core + i * 16, True, 0)
+        system = make_system(protocol, cores=4, predictor=predictor,
+                             cache_kb=1, cache_assoc=1,
+                             workload=ScriptedWorkload(scripts),
+                             references=20)
+        result = system.run(max_cycles=10_000_000)
+        assert result.total_references == 4 * 20, protocol

@@ -1,0 +1,48 @@
+"""Statistical stability: the paper's headline comparisons hold across
+seeds, not just for one lucky draw."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.runner import run_experiment
+from repro.stats.ci import t_interval
+
+SEEDS = (1, 2, 3, 4)
+
+
+def runtimes(protocol, predictor, workload, cores=8, refs=80):
+    config = SystemConfig(num_cores=cores, protocol=protocol,
+                          predictor=predictor)
+    experiment = run_experiment(config, workload, references_per_core=refs,
+                                seeds=SEEDS)
+    return [run.runtime_cycles for run in experiment.runs]
+
+
+def test_patch_none_matches_directory_within_ci():
+    directory = t_interval(runtimes("directory", "none", "jbb"))
+    patch_none = t_interval(runtimes("patch", "none", "jbb"))
+    # Identical request flows => overlapping confidence intervals.
+    assert directory.overlaps(patch_none), (directory, patch_none)
+
+
+def test_patch_all_beats_directory_on_oltp_every_seed():
+    directory = runtimes("directory", "none", "oltp")
+    patch_all = runtimes("patch", "all", "oltp")
+    wins = sum(1 for d, p in zip(directory, patch_all) if p < d)
+    assert wins >= 3, list(zip(directory, patch_all))
+
+
+def test_variance_across_seeds_is_moderate():
+    """Seeded workload perturbations should behave like the paper's
+    'small random perturbations': a few percent, not chaos."""
+    samples = runtimes("directory", "none", "apache")
+    ci = t_interval(samples)
+    assert ci.half_width / ci.mean < 0.15
+
+
+def test_confidence_interval_shrinks_with_more_seeds():
+    samples = runtimes("patch", "all", "jbb")
+    wide = t_interval(samples[:2])
+    narrow = t_interval(samples)
+    # More samples shrink the t critical value dramatically.
+    assert narrow.half_width <= wide.half_width or wide.half_width == 0.0

@@ -1,0 +1,151 @@
+"""2D torus topology: routing, wrap-around, multicast trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.topology import Torus2D
+
+
+def test_coord_round_trip():
+    torus = Torus2D(4, 4)
+    for node in range(16):
+        x, y = torus.coord(node)
+        assert torus.node_at(x, y) == node
+
+
+def test_coord_out_of_range_rejected():
+    torus = Torus2D(2, 2)
+    with pytest.raises(ValueError):
+        torus.coord(4)
+
+
+def test_route_starts_and_ends_correctly():
+    torus = Torus2D(4, 4)
+    path = torus.route(0, 15)
+    assert path[0] == 0 and path[-1] == 15
+
+
+def test_route_is_dimension_order_x_first():
+    torus = Torus2D(4, 4)
+    path = torus.route(0, 5)  # (0,0) -> (1,1)
+    coords = [torus.coord(n) for n in path]
+    assert coords == [(0, 0), (1, 0), (1, 1)]
+
+
+def test_wraparound_takes_shorter_direction():
+    torus = Torus2D(8, 1)
+    # 0 -> 6 is 2 hops backwards through the wrap, not 6 forwards.
+    assert torus.hop_count(0, 6) == 2
+    path = torus.route(0, 6)
+    assert len(path) - 1 == 2
+
+
+def test_hop_count_symmetric():
+    torus = Torus2D(4, 8)
+    for src, dst in [(0, 31), (3, 17), (12, 5)]:
+        assert torus.hop_count(src, dst) == torus.hop_count(dst, src)
+
+
+def test_hop_count_matches_route_length():
+    torus = Torus2D(4, 4)
+    for src in range(16):
+        for dst in range(16):
+            assert torus.hop_count(src, dst) == len(torus.route(src, dst)) - 1
+
+
+def test_self_route_is_trivial():
+    torus = Torus2D(3, 3)
+    assert torus.route(4, 4) == [4]
+    assert torus.hop_count(4, 4) == 0
+
+
+def test_average_hop_count_8x8():
+    torus = Torus2D(8, 8)
+    # Analytic mean for an 8x8 torus: 2 * (sum of ring distances)/8 = 4.0
+    # adjusted for excluding self-pairs.
+    assert 3.9 < torus.average_hop_count() < 4.2
+
+
+def test_links_count_full_torus():
+    torus = Torus2D(4, 4)
+    # 4 directed links per node on a >=3-wide torus.
+    assert len(torus.links()) == 64
+
+
+def test_links_deduplicated_on_width_two_rings():
+    torus = Torus2D(2, 2)
+    # +x and -x reach the same neighbor: 2 distinct neighbors per node.
+    links = torus.links()
+    assert len(links) == len(set(links))
+    assert len(links) == 8
+
+
+def test_multicast_tree_reaches_all_destinations():
+    torus = Torus2D(4, 4)
+    dests = [3, 7, 9, 14]
+    tree = torus.multicast_tree(0, dests)
+    reached = set()
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        reached.add(node)
+        frontier.extend(tree.get(node, []))
+    assert set(dests) <= reached
+
+
+def test_multicast_tree_edges_are_unique():
+    torus = Torus2D(4, 4)
+    tree = torus.multicast_tree(5, list(range(16)))
+    edges = [(parent, child) for parent, kids in tree.items()
+             for child in kids]
+    assert len(edges) == len(set(edges))
+
+
+def test_broadcast_tree_has_n_minus_1_edges():
+    torus = Torus2D(4, 4)
+    tree = torus.multicast_tree(0, [n for n in range(16) if n != 0])
+    # A spanning tree of 16 nodes has exactly 15 edges: the fan-out
+    # multicast sends each block of the broadcast exactly once per edge.
+    assert Torus2D.tree_edge_count(tree) == 15
+
+
+def test_multicast_tree_excludes_source_dest():
+    torus = Torus2D(4, 4)
+    tree = torus.multicast_tree(2, [2])
+    assert Torus2D.tree_edge_count(tree) == 0
+
+
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=6), st.data())
+def test_next_hop_always_progresses(width, height, data):
+    torus = Torus2D(width, height)
+    src = data.draw(st.integers(min_value=0, max_value=torus.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=torus.num_nodes - 1))
+    node = src
+    steps = 0
+    while node != dst:
+        nxt = torus.next_hop(node, dst)
+        assert torus.hop_count(nxt, dst) == torus.hop_count(node, dst) - 1
+        node = nxt
+        steps += 1
+        assert steps <= width + height  # never wander
+
+
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=2, max_value=5), st.data())
+def test_multicast_tree_is_connected_spanning(width, height, data):
+    torus = Torus2D(width, height)
+    n = torus.num_nodes
+    src = data.draw(st.integers(min_value=0, max_value=n - 1))
+    dests = data.draw(st.lists(st.integers(min_value=0, max_value=n - 1),
+                               min_size=1, max_size=n, unique=True))
+    tree = torus.multicast_tree(src, dests)
+    reached = {src}
+    frontier = [src]
+    while frontier:
+        node = frontier.pop()
+        for child in tree.get(node, []):
+            assert child not in reached  # acyclic
+            reached.add(child)
+            frontier.append(child)
+    assert set(dests) - {src} <= reached

@@ -1,0 +1,119 @@
+"""Group and BASH-throttled predictor tests (extension features)."""
+
+import pytest
+
+from repro.prediction.predictors import (AllPredictor,
+                                         BashThrottledPredictor,
+                                         GroupPredictor, make_predictor)
+
+
+# ---------------------------------------------------------------------------
+# GroupPredictor
+# ---------------------------------------------------------------------------
+
+def test_group_untrained_predicts_nothing():
+    predictor = GroupPredictor(num_cores=8, self_id=0)
+    assert predictor.predict(10, True) == set()
+
+
+def test_group_collects_recent_actors():
+    predictor = GroupPredictor(num_cores=8, self_id=0)
+    predictor.record_owner(10, 3)
+    predictor.record_foreign_request(10, 5)
+    assert predictor.predict(10, False) == {3, 5}
+
+
+def test_group_excludes_self():
+    predictor = GroupPredictor(num_cores=8, self_id=3)
+    predictor.record_owner(10, 3)
+    predictor.record_foreign_request(10, 4)
+    assert predictor.predict(10, True) == {4}
+
+
+def test_group_is_bounded_lru():
+    predictor = GroupPredictor(num_cores=16, self_id=0, max_group=3)
+    for core in (1, 2, 3, 4):
+        predictor.record_foreign_request(10, core)
+    # Core 1 (oldest) fell out of the bounded group.
+    assert predictor.predict(10, False) == {2, 3, 4}
+
+
+def test_group_refreshes_recency():
+    predictor = GroupPredictor(num_cores=16, self_id=0, max_group=3)
+    for core in (1, 2, 3):
+        predictor.record_foreign_request(10, core)
+    predictor.record_foreign_request(10, 1)   # refresh core 1
+    predictor.record_foreign_request(10, 4)   # evicts core 2 now
+    assert predictor.predict(10, False) == {1, 3, 4}
+
+
+def test_group_macroblock_sharing():
+    predictor = GroupPredictor(num_cores=8, self_id=0,
+                               macroblock_bytes=1024, block_bytes=64)
+    predictor.record_owner(0, 5)
+    assert predictor.predict(15, False) == {5}   # same 16-block macroblock
+    assert predictor.predict(16, False) == set()
+
+
+def test_group_available_from_factory_and_config():
+    from repro.config import SystemConfig
+    predictor = make_predictor("group", num_cores=8, self_id=0)
+    assert isinstance(predictor, GroupPredictor)
+    config = SystemConfig(protocol="patch", predictor="group")
+    assert config.predictor == "group"
+
+
+def test_group_predictor_runs_end_to_end():
+    from repro import System, SystemConfig, make_workload
+    config = SystemConfig(num_cores=8, protocol="patch", predictor="group")
+    workload = make_workload("oltp", num_cores=8, seed=1)
+    result = System(config, workload, references_per_core=60).run()
+    assert result.total_references == 8 * 60
+    # Group prediction sends direct requests once trained, but far fewer
+    # than broadcast-everything.
+    sent = result.cache_stats.get("direct_requests_sent", 0)
+    assert 0 < sent < result.misses * 7
+
+
+# ---------------------------------------------------------------------------
+# BashThrottledPredictor
+# ---------------------------------------------------------------------------
+
+def test_bash_delegates_below_threshold():
+    inner = AllPredictor(num_cores=4, self_id=0)
+    predictor = BashThrottledPredictor(inner, lambda: 0.1, threshold=0.5)
+    assert predictor.predict(10, True) == {1, 2, 3}
+    assert predictor.throttled_predictions == 0
+
+
+def test_bash_throttles_above_threshold():
+    inner = AllPredictor(num_cores=4, self_id=0)
+    predictor = BashThrottledPredictor(inner, lambda: 0.9, threshold=0.5)
+    assert predictor.predict(10, True) == set()
+    assert predictor.throttled_predictions == 1
+
+
+def test_bash_training_passes_through():
+    from repro.prediction.predictors import OwnerPredictor
+    inner = OwnerPredictor(num_cores=4, self_id=0)
+    predictor = BashThrottledPredictor(inner, lambda: 0.0)
+    predictor.record_owner(10, 2)
+    assert predictor.predict(10, False) == {2}
+
+
+def test_bash_threshold_validated():
+    inner = AllPredictor(num_cores=4, self_id=0)
+    with pytest.raises(ValueError):
+        BashThrottledPredictor(inner, lambda: 0.0, threshold=0.0)
+
+
+def test_bash_adapts_as_utilization_moves():
+    inner = AllPredictor(num_cores=4, self_id=0)
+    utilization = {"value": 0.0}
+    predictor = BashThrottledPredictor(inner, lambda: utilization["value"],
+                                       threshold=0.5)
+    assert predictor.predict(1, True)           # flowing
+    utilization["value"] = 0.8
+    assert predictor.predict(1, True) == set()  # throttled
+    utilization["value"] = 0.2
+    assert predictor.predict(1, True)           # flowing again

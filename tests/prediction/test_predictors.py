@@ -1,0 +1,89 @@
+"""Destination-set predictor tests."""
+
+import pytest
+
+from repro.prediction.predictors import (AllPredictor,
+                                         BroadcastIfSharedPredictor,
+                                         NonePredictor, OwnerPredictor,
+                                         make_predictor)
+
+
+def test_none_predictor_is_quiet():
+    predictor = NonePredictor()
+    assert predictor.predict(10, True) == set()
+    predictor.record_owner(10, 2)   # training is a no-op
+    assert predictor.predict(10, False) == set()
+
+
+def test_all_predictor_targets_everyone_else():
+    predictor = AllPredictor(num_cores=4, self_id=1)
+    assert predictor.predict(0, False) == {0, 2, 3}
+
+
+def test_owner_predictor_untrained_predicts_nothing():
+    predictor = OwnerPredictor(num_cores=4, self_id=0)
+    assert predictor.predict(10, True) == set()
+
+
+def test_owner_predictor_learns_from_data_responses():
+    predictor = OwnerPredictor(num_cores=4, self_id=0)
+    predictor.record_owner(10, 3)
+    assert predictor.predict(10, False) == {3}
+
+
+def test_owner_predictor_learns_from_foreign_requests():
+    predictor = OwnerPredictor(num_cores=4, self_id=0)
+    predictor.record_foreign_request(10, 2)
+    assert predictor.predict(10, True) == {2}
+
+
+def test_owner_predictor_never_predicts_self():
+    predictor = OwnerPredictor(num_cores=4, self_id=3)
+    predictor.record_owner(10, 3)
+    assert predictor.predict(10, False) == set()
+
+
+def test_macroblock_indexing_generalizes_within_macroblock():
+    # 1024-byte macroblocks of 64-byte blocks: 16 blocks share an entry.
+    predictor = OwnerPredictor(num_cores=4, self_id=0,
+                               macroblock_bytes=1024, block_bytes=64)
+    predictor.record_owner(0, 2)
+    assert predictor.predict(15, False) == {2}    # same macroblock
+    assert predictor.predict(16, False) == set()  # next macroblock
+
+
+def test_direct_mapped_conflict_evicts_entry():
+    predictor = OwnerPredictor(num_cores=4, self_id=0, entries=2,
+                               macroblock_bytes=64, block_bytes=64)
+    predictor.record_owner(0, 1)
+    predictor.record_owner(2, 3)  # maps to the same entry (index 0)
+    assert predictor.predict(0, False) == set()
+    assert predictor.predict(2, False) == {3}
+
+
+def test_bis_predictor_broadcasts_only_when_shared():
+    predictor = BroadcastIfSharedPredictor(num_cores=4, self_id=1)
+    assert predictor.predict(10, True) == set()
+    predictor.record_foreign_request(10, 2)
+    assert predictor.predict(10, True) == {0, 2, 3}
+
+
+def test_bis_learns_sharing_from_remote_data():
+    predictor = BroadcastIfSharedPredictor(num_cores=4, self_id=1)
+    predictor.record_owner(10, 1)   # our own fill: not evidence of sharing
+    assert predictor.predict(10, False) == set()
+    predictor.record_owner(10, 2)   # remote cache supplied data: shared
+    assert predictor.predict(10, False) == {0, 2, 3}
+
+
+def test_factory_builds_all_kinds():
+    for kind, cls in [("none", NonePredictor), ("all", AllPredictor),
+                      ("owner", OwnerPredictor),
+                      ("broadcast-if-shared", BroadcastIfSharedPredictor)]:
+        predictor = make_predictor(kind, num_cores=8, self_id=0)
+        assert isinstance(predictor, cls)
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_predictor("oracle", num_cores=8, self_id=0)

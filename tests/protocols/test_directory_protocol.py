@@ -1,0 +1,243 @@
+"""Scripted DIRECTORY protocol scenarios (paper Section 5.1 semantics)."""
+
+import pytest
+
+from repro.coherence.states import CacheState
+from tests.helpers import AccessDriver, make_system
+
+
+@pytest.fixture
+def system():
+    return make_system("directory", cores=4)
+
+
+@pytest.fixture
+def driver(system):
+    return AccessDriver(system)
+
+
+def state_of(system, core, block):
+    line = system.caches[core].cache.lookup(block)
+    return line.state if line is not None else CacheState.I
+
+
+def test_cold_read_grants_exclusive(system, driver):
+    driver.access(0, 100, is_write=False)
+    assert state_of(system, 0, 100) is CacheState.E
+
+
+def test_cold_write_grants_modified(system, driver):
+    driver.access(0, 100, is_write=True)
+    assert state_of(system, 0, 100) is CacheState.M
+
+
+def test_write_hit_on_exclusive_is_silent_upgrade(system, driver):
+    driver.access(0, 100, is_write=False)
+    latency = driver.access(0, 100, is_write=True)
+    assert state_of(system, 0, 100) is CacheState.M
+    # A silent upgrade is a cache hit: no coherence round trip.
+    assert latency <= system.config.cache_latency + 1
+
+
+def test_read_after_remote_write_migrates_exclusively(system, driver):
+    driver.access(0, 100, is_write=True)
+    driver.access(1, 100, is_write=False)
+    # Dirty-exclusive data migrates on a read (migratory response policy,
+    # mirroring the token protocols): the reader gets M, the writer drops
+    # to I, and the reader's own write will hit locally.
+    assert state_of(system, 1, 100) is CacheState.M
+    assert state_of(system, 0, 100) is CacheState.I
+    latency = driver.access(1, 100, is_write=True)
+    assert latency <= system.config.cache_latency + 1
+
+
+def test_read_sharing_from_clean_owner_grants_f(system, driver):
+    driver.access(0, 100, is_write=False)   # E at core 0
+    driver.access(1, 100, is_write=False)
+    assert state_of(system, 1, 100) is CacheState.F
+    assert state_of(system, 0, 100) is CacheState.S
+
+
+def test_write_invalidates_all_sharers(system, driver):
+    driver.access(0, 100, is_write=False)
+    driver.access(1, 100, is_write=False)
+    driver.access(2, 100, is_write=False)
+    driver.access(3, 100, is_write=True)
+    for core in (0, 1, 2):
+        assert state_of(system, core, 100) is CacheState.I
+    assert state_of(system, 3, 100) is CacheState.M
+
+
+def test_upgrade_from_shared_collects_acks(system, driver):
+    driver.access(0, 100, is_write=False)   # E at 0
+    driver.access(1, 100, is_write=False)   # F at 1 (owner), S at 0
+    driver.access(2, 100, is_write=False)   # F at 2 (owner), S at 0 and 1
+    driver.access(0, 100, is_write=True)
+    assert state_of(system, 0, 100) is CacheState.M
+    assert state_of(system, 1, 100) is CacheState.I
+    assert state_of(system, 2, 100) is CacheState.I
+    # The non-owner sharer (core 1) was invalidated and acked; the owner
+    # (core 2) surrendered via the forwarded request instead.
+    assert system.caches[1].stats.value("inv_acks_sent") >= 1
+    assert system.caches[2].stats.value("forwards_served") >= 1
+
+
+def test_owner_upgrade_uses_ack_count_path(system, driver):
+    driver.access(0, 100, is_write=False)   # E at 0
+    driver.access(1, 100, is_write=False)   # F at 1 (clean owner), S at 0
+    driver.access(1, 100, is_write=True)    # owner upgrade at 1
+    assert state_of(system, 1, 100) is CacheState.M
+    assert state_of(system, 0, 100) is CacheState.I
+    assert sum(h.stats.value("owner_upgrades") for h in system.homes) == 1
+
+
+def test_sharing_read_miss_is_three_hop(system, driver):
+    driver.access(0, 100, is_write=True)
+    latency = driver.access(1, 100, is_write=False)
+    # requester -> home -> owner -> requester: strictly more than a
+    # 2-hop (requester->home->requester) memory fetch minus DRAM.
+    assert latency > 2 * system.config.total_link_latency
+
+
+def test_directory_tracks_owner_exactly(system, driver):
+    driver.access(0, 100, is_write=True)
+    home = system.homes[100 % 4]
+    assert home.entry(100).owner == 0
+    driver.access(2, 100, is_write=True)
+    assert home.entry(100).owner == 2
+
+
+def test_deactivation_unblocks_queued_requests(system, driver):
+    # Two writers racing: both must complete, serialized by the home.
+    driver.access_concurrent([(0, 100, True), (1, 100, True)])
+    states = {state_of(system, 0, 100), state_of(system, 1, 100)}
+    assert CacheState.M in states
+    assert CacheState.I in states
+
+
+def test_racing_readers_all_complete(system, driver):
+    driver.access(3, 100, is_write=True)
+    driver.access_concurrent([(0, 100, False), (1, 100, False),
+                              (2, 100, False)])
+    # Dirty data migrates reader-to-reader, so earlier readers may have
+    # been invalidated again; what matters is that all completed and the
+    # final state is coherent (exactly one exclusive copy).
+    from repro.verify.invariants import audit_single_writer
+    audit_single_writer(system)
+    holders = [c for c in (0, 1, 2, 3)
+               if state_of(system, c, 100) is not CacheState.I]
+    assert len(holders) >= 1
+
+
+def test_racing_readers_of_clean_data_all_keep_copies(system, driver):
+    driver.access(3, 100, is_write=False)   # E at 3 (clean)
+    driver.access_concurrent([(0, 100, False), (1, 100, False),
+                              (2, 100, False)])
+    for core in (0, 1, 2):
+        line = system.caches[core].cache.lookup(100)
+        assert line is not None and line.valid_data
+
+
+def test_read_write_race_serializes(system, driver):
+    driver.access(0, 100, is_write=False)
+    driver.access_concurrent([(1, 100, True), (2, 100, False)])
+    # Whatever the order, the final state is coherent: if 1 holds M,
+    # 2 must have been invalidated after reading (or read after).
+    writer = state_of(system, 1, 100)
+    assert writer in (CacheState.M, CacheState.O, CacheState.S,
+                      CacheState.I)
+
+
+# ---------------------------------------------------------------------------
+# Evictions and writebacks
+# ---------------------------------------------------------------------------
+
+def small_cache_system():
+    # 1-set, 1-way cache: every new block evicts the previous one.
+    return make_system("directory", cores=2, cache_kb=1, cache_assoc=1,
+                       block_size=64)
+
+
+def test_dirty_eviction_writes_back():
+    system = make_system("directory", cores=2, cache_kb=1, cache_assoc=1)
+    driver = AccessDriver(system)
+    sets = system.config.cache_sets
+    driver.access(0, 100, is_write=True)
+    driver.access(0, 100 + sets, is_write=True)   # same set: evicts 100
+    driver.drain(50_000)
+    assert system.caches[0].stats.value("writebacks") >= 1
+    home = system.homes[100 % 2]
+    assert home.entry(100).owner is None
+    # Memory got the dirty data: a later read is served by memory.
+    driver.access(1, 100, is_write=False)
+    line = system.caches[1].cache.lookup(100)
+    assert line is not None and line.valid_data
+
+
+def test_shared_eviction_is_silent():
+    system = make_system("directory", cores=2, cache_kb=1, cache_assoc=1)
+    driver = AccessDriver(system)
+    sets = system.config.cache_sets
+    driver.access(0, 100, is_write=False)   # E at 0
+    driver.access(1, 100, is_write=False)   # F at 1, S at 0
+    before = system.caches[0].stats.value("writebacks")
+    driver.access(0, 100 + sets, is_write=False)  # evicts S line at 0
+    driver.drain(20_000)
+    assert system.caches[0].stats.value("writebacks") == before
+    assert system.caches[0].stats.value("silent_evictions") >= 1
+
+
+def test_clean_owner_eviction_is_dataless_writeback():
+    system = make_system("directory", cores=2, cache_kb=1, cache_assoc=1)
+    driver = AccessDriver(system)
+    sets = system.config.cache_sets
+    driver.access(0, 100, is_write=False)   # E (clean owner)
+    driver.access(0, 100 + sets, is_write=False)
+    driver.drain(20_000)
+    assert system.caches[0].stats.value("writebacks") >= 1
+    home = system.homes[100 % 2]
+    assert home.stats.value("writebacks_accepted") >= 1
+
+
+def test_forward_served_from_writeback_buffer():
+    """A forward racing an in-flight writeback is served from the buffer."""
+    system = make_system("directory", cores=2, cache_kb=1, cache_assoc=1)
+    driver = AccessDriver(system)
+    sets = system.config.cache_sets
+    driver.access(0, 100, is_write=True)    # M at 0
+    # Evict (PUT in flight) and immediately request from core 1; depending
+    # on timing the home may forward to core 0 before processing the PUT.
+    done = []
+    system.caches[0].access(100 + sets, True, lambda: done.append(0))
+    system.caches[1].access(100, False, lambda: done.append(1))
+    system.sim.run(until=system.sim.now + 200_000)
+    assert sorted(done) == [0, 1]
+    line = system.caches[1].cache.lookup(100)
+    assert line is not None and line.valid_data
+
+
+# ---------------------------------------------------------------------------
+# Migratory sharing optimization
+# ---------------------------------------------------------------------------
+
+def test_migratory_read_write_chains_cost_one_miss_each(system, driver):
+    block = 200
+    driver.access(0, block, is_write=True)
+    # Each core's read-then-write critical section after the first costs
+    # exactly one (read) miss: the read migrates the dirty block whole.
+    for core in (1, 2, 3):
+        driver.access(core, block, is_write=False)
+        assert state_of(system, core, block) is CacheState.M
+        latency = driver.access(core, block, is_write=True)
+        assert latency <= system.config.cache_latency + 1
+
+
+def test_clean_sharing_chains_do_not_migrate(system, driver):
+    block = 200
+    driver.access(0, block, is_write=False)   # E at 0
+    driver.access(1, block, is_write=False)   # F at 1, S at 0
+    driver.access(2, block, is_write=False)   # F at 2; 0 and 1 keep copies
+    for core in (0, 1):
+        assert state_of(system, core, block) is CacheState.S
+    home = system.homes[block % 4]
+    assert not home.entry(block).migratory

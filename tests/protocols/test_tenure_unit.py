@@ -1,0 +1,132 @@
+"""Unit tests for the tenure bookkeeping helpers (ProbationTimers,
+IgnoreWindows) in isolation from the full protocol."""
+
+import pytest
+
+from repro.protocols.patch.tenure import IgnoreWindows, ProbationTimers
+from repro.sim.kernel import Simulator
+from repro.stats.counters import Ewma
+
+
+def make_timers(sim, multiplier=2.0, floor=100, initial_rtt=50.0):
+    fired = []
+    rtt = Ewma(alpha=0.5, initial=initial_rtt)
+    timers = ProbationTimers(sim, rtt, multiplier, floor,
+                             expire=fired.append)
+    return timers, fired, rtt
+
+
+def test_probation_interval_uses_floor():
+    sim = Simulator()
+    timers, _, _ = make_timers(sim, multiplier=2.0, floor=100,
+                               initial_rtt=10.0)
+    assert timers.probation_interval() == 100
+
+
+def test_probation_interval_tracks_rtt():
+    sim = Simulator()
+    timers, _, rtt = make_timers(sim, multiplier=2.0, floor=100,
+                                 initial_rtt=200.0)
+    assert timers.probation_interval() == 400
+    rtt.add(600.0)   # EWMA moves to 400
+    assert timers.probation_interval() == 800
+
+
+def test_timer_fires_after_interval():
+    sim = Simulator()
+    timers, fired, _ = make_timers(sim, initial_rtt=50.0)  # interval 100
+    timers.arm(7)
+    sim.run(until=99)
+    assert fired == []
+    sim.run(until=101)
+    assert fired == [7]
+    assert not timers.is_armed(7)
+
+
+def test_timer_not_extended_by_rearm():
+    """Rule #4: probation is bounded; later arrivals don't reset it."""
+    sim = Simulator()
+    timers, fired, _ = make_timers(sim, initial_rtt=50.0)
+    timers.arm(7)
+    sim.run(until=60)
+    timers.arm(7)   # must be a no-op
+    sim.run(until=101)
+    assert fired == [7]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    timers, fired, _ = make_timers(sim)
+    timers.arm(7)
+    timers.cancel(7)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_unarmed_is_noop():
+    sim = Simulator()
+    timers, _, _ = make_timers(sim)
+    timers.cancel(99)   # no error
+
+
+def test_independent_timers_per_block():
+    sim = Simulator()
+    timers, fired, _ = make_timers(sim, initial_rtt=50.0)
+    timers.arm(1)
+    sim.run(until=50)
+    timers.arm(2)
+    timers.cancel(1)
+    sim.run(until=200)
+    assert fired == [2]
+
+
+def test_rearm_after_fire():
+    sim = Simulator()
+    timers, fired, _ = make_timers(sim, initial_rtt=50.0)
+    timers.arm(7)
+    sim.run(until=150)
+    timers.arm(7)
+    sim.run(until=300)
+    assert fired == [7, 7]
+
+
+# ---------------------------------------------------------------------------
+# IgnoreWindows
+# ---------------------------------------------------------------------------
+
+def test_window_active_until_deadline():
+    sim = Simulator()
+    windows = IgnoreWindows(sim)
+    windows.open(5, duration=100)
+    assert windows.active(5)
+    sim.schedule(100, lambda: None)
+    sim.run()
+    assert not windows.active(5)
+
+
+def test_window_per_block():
+    sim = Simulator()
+    windows = IgnoreWindows(sim)
+    windows.open(5, duration=100)
+    assert not windows.active(6)
+
+
+def test_window_reopen_extends():
+    sim = Simulator()
+    windows = IgnoreWindows(sim)
+    windows.open(5, duration=10)
+    sim.schedule(50, lambda: None)
+    sim.run()
+    assert not windows.active(5)
+    windows.open(5, duration=100)
+    assert windows.active(5)
+
+
+def test_window_expiry_cleans_up():
+    sim = Simulator()
+    windows = IgnoreWindows(sim)
+    windows.open(5, duration=10)
+    sim.schedule(20, lambda: None)
+    sim.run()
+    assert not windows.active(5)
+    assert 5 not in windows._deadlines   # lazily removed

@@ -1,0 +1,152 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_runs_events_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("late"))
+    sim.schedule(1, lambda: order.append("early"))
+    sim.schedule(5, lambda: order.append("middle"))
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.schedule(3, lambda n=name: order.append(n))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_priority_breaks_ties_before_sequence():
+    sim = Simulator()
+    order = []
+    sim.schedule(3, lambda: order.append("low"), priority=1)
+    sim.schedule(3, lambda: order.append("high"), priority=0)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append(("first", sim.now))
+        sim.schedule(5, lambda: order.append(("second", sim.now)))
+
+    sim.schedule(2, first)
+    sim.run()
+    assert order == [("first", 2), ("second", 7)]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(5, lambda: fired.append(True))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append(5))
+    sim.schedule(100, lambda: fired.append(100))
+    sim.run(until=50)
+    assert fired == [5]
+    assert sim.now == 50
+    sim.run()
+    assert fired == [5, 100]
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, lambda: sim.schedule_at(30, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [30]
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+
+    def callback():
+        with pytest.raises(SimulationError):
+            sim.schedule_at(3, lambda: None)
+
+    sim.schedule(10, callback)
+    sim.run()
+
+
+def test_max_events_guards_against_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1, loop)
+
+    sim.schedule(0, loop)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=100)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    keep = sim.schedule(5, lambda: None)
+    cancelled = sim.schedule(6, lambda: None)
+    cancelled.cancel()
+    assert sim.pending() == 1
+    del keep
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        sim.schedule(0, lambda: times.append(sim.now))
+
+    sim.schedule(9, outer)
+    sim.run()
+    assert times == [9]

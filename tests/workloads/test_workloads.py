@@ -1,0 +1,166 @@
+"""Workload generator tests: determinism, distributions, presets."""
+
+import pytest
+
+from repro.workloads.base import Access
+from repro.workloads.micro import MicrobenchWorkload
+from repro.workloads.presets import PRESETS, WORKLOAD_NAMES, make_workload
+from repro.workloads.synthetic import (SharingMix, SyntheticParams,
+                                       SyntheticWorkload)
+
+
+def stream(workload, core, n):
+    return [workload.next_access(core) for _ in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmark (paper Section 8.1)
+# ---------------------------------------------------------------------------
+
+def test_micro_deterministic_per_seed():
+    a = MicrobenchWorkload(num_cores=4, seed=7)
+    b = MicrobenchWorkload(num_cores=4, seed=7)
+    assert stream(a, 0, 50) == stream(b, 0, 50)
+
+
+def test_micro_seeds_differ():
+    a = MicrobenchWorkload(num_cores=4, seed=1)
+    b = MicrobenchWorkload(num_cores=4, seed=2)
+    assert stream(a, 0, 50) != stream(b, 0, 50)
+
+
+def test_micro_cores_get_different_streams():
+    workload = MicrobenchWorkload(num_cores=4, seed=1)
+    assert stream(workload, 0, 50) != stream(workload, 1, 50)
+
+
+def test_micro_write_fraction_approximately_30_percent():
+    workload = MicrobenchWorkload(num_cores=1, seed=3)
+    accesses = stream(workload, 0, 4000)
+    writes = sum(1 for a in accesses if a.is_write)
+    assert 0.25 < writes / len(accesses) < 0.35
+
+
+def test_micro_blocks_within_table():
+    workload = MicrobenchWorkload(num_cores=2, seed=1, table_blocks=128)
+    for access in stream(workload, 0, 500):
+        assert 0 <= access.block < 128
+
+
+def test_micro_validates_params():
+    with pytest.raises(ValueError):
+        MicrobenchWorkload(num_cores=1, table_blocks=0)
+    with pytest.raises(ValueError):
+        MicrobenchWorkload(num_cores=1, write_fraction=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic sharing-pattern generator
+# ---------------------------------------------------------------------------
+
+def default_params(**kw):
+    defaults = dict(mix=SharingMix(0.25, 0.25, 0.25, 0.25),
+                    private_blocks_per_core=16, migratory_blocks=8,
+                    producer_consumer_blocks=8, read_mostly_blocks=8)
+    defaults.update(kw)
+    return SyntheticParams(**defaults)
+
+
+def test_synthetic_deterministic_per_seed():
+    a = SyntheticWorkload(4, default_params(), seed=5)
+    b = SyntheticWorkload(4, default_params(), seed=5)
+    assert stream(a, 2, 100) == stream(b, 2, 100)
+
+
+def test_synthetic_regions_are_disjoint():
+    params = default_params()
+    workload = SyntheticWorkload(2, params, seed=1)
+    # private regions: [0, 32); migratory [32, 40); pc [40, 48); rm [48, 56)
+    assert workload.total_blocks == 2 * 16 + 8 + 8 + 8
+
+
+def test_private_accesses_stay_in_core_region():
+    params = default_params(mix=SharingMix(1.0, 0.0, 0.0, 0.0))
+    workload = SyntheticWorkload(2, params, seed=1)
+    for access in stream(workload, 1, 200):
+        assert 16 <= access.block < 32
+
+
+def test_migratory_is_read_then_write_pairs():
+    params = default_params(mix=SharingMix(0.0, 1.0, 0.0, 0.0))
+    workload = SyntheticWorkload(2, params, seed=1)
+    accesses = stream(workload, 0, 100)
+    for read, write in zip(accesses[::2], accesses[1::2]):
+        assert not read.is_write
+        assert write.is_write
+        assert read.block == write.block
+
+
+def test_read_mostly_is_mostly_reads():
+    params = default_params(mix=SharingMix(0.0, 0.0, 0.0, 1.0))
+    workload = SyntheticWorkload(2, params, seed=1)
+    accesses = stream(workload, 0, 1000)
+    writes = sum(1 for a in accesses if a.is_write)
+    assert writes / len(accesses) < 0.1
+
+
+def test_producer_writes_more_than_consumers():
+    params = default_params(mix=SharingMix(0.0, 0.0, 1.0, 0.0))
+    workload = SyntheticWorkload(2, params, seed=1)
+    base = workload._pc_base
+    producer_writes = consumer_writes = 0
+    producer_total = consumer_total = 0
+    for core in (0, 1):
+        for access in stream(workload, core, 2000):
+            is_producer = (access.block - base) % 2 == core
+            if is_producer:
+                producer_total += 1
+                producer_writes += access.is_write
+            else:
+                consumer_total += 1
+                consumer_writes += access.is_write
+    assert producer_writes / producer_total > consumer_writes / consumer_total
+
+
+def test_think_times_bounded():
+    params = default_params(think_time_max=5)
+    workload = SyntheticWorkload(2, params, seed=1)
+    assert all(0 <= a.think_time <= 5 for a in stream(workload, 0, 200))
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError):
+        SharingMix(0, 0, 0, 0).weights()
+    with pytest.raises(ValueError):
+        SharingMix(-1, 1, 1, 1).weights()
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+def test_all_presets_buildable():
+    for name in WORKLOAD_NAMES:
+        workload = make_workload(name, num_cores=4, seed=1)
+        access = workload.next_access(0)
+        assert isinstance(access, Access)
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError):
+        make_workload("spec2017", num_cores=4)
+
+
+def test_oltp_is_most_migratory_preset():
+    oltp = PRESETS["oltp"].mix
+    for name, params in PRESETS.items():
+        if name != "oltp":
+            assert oltp.migratory >= params.mix.migratory
+
+
+def test_ocean_has_largest_private_working_set():
+    ocean = PRESETS["ocean"]
+    for name, params in PRESETS.items():
+        if name != "ocean":
+            assert (ocean.private_blocks_per_core
+                    >= params.private_blocks_per_core)
