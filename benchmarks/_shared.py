@@ -1,54 +1,56 @@
 """Shared machinery for the figure-regeneration benchmarks.
 
 Each ``benchmarks/test_figN_*.py`` module regenerates one table or figure
-from the paper's evaluation (Section 8).  Experiments are memoized here so
-figures that share runs (4 & 5, 9 & 10) only simulate once per pytest
-session.  Every module writes its rendered table to
-``benchmarks/results/`` and echoes it to the terminal (bypassing pytest's
-capture) so the numbers land in ``bench_output.txt``.
+from the paper's evaluation (Section 8).  Every module writes its rendered
+table to ``benchmarks/results/`` and echoes it to the terminal (bypassing
+pytest's capture) so the numbers land in ``bench_output.txt``.
+
+Cache semantics
+---------------
+Experiment bundles run through :mod:`repro.exec`, whose
+:class:`~repro.exec.cache.ResultCache` persists every completed
+(config, workload, seed) cell as a JSON file under ``~/.cache/repro``
+(override with ``REPRO_CACHE_DIR``; disable with ``REPRO_NO_CACHE=1``).
+A thin ``functools.lru_cache`` remains on the bundle functions below so
+figures that share runs (4 & 5, 9 & 10) simulate once per session even
+when the disk cache is disabled or unwritable.  Consequences:
+* a *re-run* of the suite is nearly free: cells are keyed by the full
+  config, the workload + seed, and a hash of every ``repro`` source
+  file, so results are reused across sessions until the code changes,
+  at which point the whole cache invalidates automatically;
+* the cache is shared with the ``repro bench`` CLI subcommand, which
+  renders byte-identical tables from the same :mod:`repro.bench`
+  bundles — warming it here speeds that up and vice versa;
+* independent cells fan out across ``REPRO_JOBS`` worker processes
+  (default: CPU count); parallel results are bit-identical to serial.
 
 Scale note (see DESIGN.md): the paper simulates 64-core full-system
 workloads for days; we run the same protocol configurations at reduced
-core counts / reference counts so the whole suite regenerates in minutes.
-The comparisons are within-run and normalized, so the *shape* of each
-figure is preserved.
+core counts / reference counts (pinned by ``repro.bench.FULL_SCALE``) so
+the whole suite regenerates in minutes.  The comparisons are within-run
+and normalized, so the *shape* of each figure is preserved.
 """
 
 from __future__ import annotations
 
 import functools
 import os
-from typing import Dict, Sequence
 
-from repro.config import SystemConfig
-from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
-                               ExperimentResult, compare_configs,
-                               run_experiment)
-from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
-                               encoding_sweep, scalability_sweep)
+from repro.analysis import format_table
+from repro.bench import FULL_SCALE
+from repro.bench import bandwidth_results as _bandwidth_results
+from repro.bench import encoding_results as _encoding_results
+from repro.bench import fig45_results as _fig45_results
+from repro.bench import scalability_results as _scalability_results
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-#: Workloads of Figures 4/5, in the paper's order.
-FIG4_WORKLOADS = ("jbb", "oltp", "apache", "barnes", "ocean")
-
-#: Scaled-down run sizes (paper: 64 cores, full benchmark executions).
-FIG4_CORES = 16
-FIG4_REFS = 120
-FIG4_SEEDS = (1, 2)
-
-BW_CORES = 16
-BW_REFS = 100
-BW_SEEDS = (1, 2)
-BW_POINTS = (0.3, 0.6, 0.9, 2.0, 4.0, 8.0)
-
-SCALE_CORES = (4, 8, 16, 32, 64, 128, 256)
-SCALE_REFS = {4: 200, 8: 140, 16: 100, 32: 60, 64: 36, 128: 20, 256: 10,
-              512: 6}
-
-ENC_CORE_COUNTS = (64, 128, 256)
-ENC_REFS = {16: 80, 32: 40, 64: 20, 128: 10, 256: 6}
-ENC_TABLE_BLOCKS = {16: 96, 32: 192, 64: 384, 128: 768, 256: 1536}
+#: The grid-size aliases the figure modules actually consume; all other
+#: run sizes live on ``repro.bench.FULL_SCALE`` itself.
+FIG4_WORKLOADS = FULL_SCALE.fig4_workloads
+BW_POINTS = FULL_SCALE.bw_points
+SCALE_CORES = FULL_SCALE.scale_cores
+ENC_CORE_COUNTS = FULL_SCALE.enc_core_counts
 
 
 def report(name: str, text: str, capsys=None) -> str:
@@ -65,64 +67,30 @@ def report(name: str, text: str, capsys=None) -> str:
     return path
 
 
-def format_table(title: str, headers: Sequence[str],
-                 rows: Sequence[Sequence[str]]) -> str:
-    widths = [max(len(str(headers[i])),
-                  max((len(str(row[i])) for row in rows), default=0))
-              for i in range(len(headers))]
-    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    rule = "-" * len(line)
-    body = "\n".join("  ".join(str(cell).ljust(w)
-                               for cell, w in zip(row, widths))
-                     for row in rows)
-    return f"{title}\n{rule}\n{line}\n{rule}\n{body}\n{rule}"
-
-
 # ---------------------------------------------------------------------------
-# Memoized experiment bundles
+# Experiment bundles: disk-cached by repro.exec, plus an in-session memo
+# so figure pairs share runs even without a writable disk cache
 # ---------------------------------------------------------------------------
 
 @functools.lru_cache(maxsize=None)
-def fig45_results() -> Dict[str, Dict[str, ExperimentResult]]:
+def fig45_results():
     """The 6-configuration x 5-workload grid behind Figures 4 and 5."""
-    base = SystemConfig(num_cores=FIG4_CORES)
-    return {workload: compare_configs(base, workload,
-                                      references_per_core=FIG4_REFS,
-                                      seeds=FIG4_SEEDS)
-            for workload in FIG4_WORKLOADS}
+    return _fig45_results(FULL_SCALE)
 
 
 @functools.lru_cache(maxsize=None)
 def bandwidth_results(workload: str):
     """Runtime vs link bandwidth (Figures 6 and 7)."""
-    base = SystemConfig(num_cores=BW_CORES)
-    return bandwidth_sweep(base, workload, references_per_core=BW_REFS,
-                           bandwidths=BW_POINTS, seeds=BW_SEEDS)
+    return _bandwidth_results(workload, FULL_SCALE)
 
 
 @functools.lru_cache(maxsize=None)
 def scalability_results():
     """Runtime vs core count on the microbenchmark (Figure 8)."""
-    base = SystemConfig(num_cores=4, link_bandwidth=2.0)
-    # The paper runs the 16k-entry table to steady state; our shortened
-    # reference quotas would make that all cold misses, so the table
-    # scales with N to hold block reuse (hence sharing-miss density)
-    # constant across the sweep.
-    return scalability_sweep(
-        base, core_counts=SCALE_CORES, references_for=SCALE_REFS,
-        seeds=(1,),
-        workload_kwargs_for=lambda cores: {
-            "table_blocks": min(16 * 1024, 24 * cores)})
+    return _scalability_results(FULL_SCALE)
 
 
 @functools.lru_cache(maxsize=None)
 def encoding_results(num_cores: int, bounded: bool):
     """Runtime/traffic vs encoding coarseness (Figures 9 and 10)."""
-    bandwidth = 2.0 if bounded else 1000.0
-    base = SystemConfig(num_cores=4, link_bandwidth=bandwidth)
-    return encoding_sweep(base, num_cores=num_cores,
-                          references_per_core=ENC_REFS[num_cores],
-                          coarseness_values=tuple(
-                              coarseness_points(num_cores)),
-                          seeds=(1,),
-                          table_blocks=ENC_TABLE_BLOCKS[num_cores])
+    return _encoding_results(num_cores, bounded, FULL_SCALE)

@@ -8,13 +8,9 @@ Paper claims:
 
 import pytest
 
-from repro.core.sweeps import coarseness_points
-from repro.stats.traffic import FIGURE5_ORDER
+from repro.bench import render_fig10
 
-from _shared import (ENC_CORE_COUNTS, encoding_results, format_table,
-                     report)
-
-GROUPS = ("Data", "Ack", "Ind. Req.", "Forward")
+from _shared import ENC_CORE_COUNTS, encoding_results, report
 
 
 def test_fig10_inexact_traffic(benchmark, capsys):
@@ -23,30 +19,7 @@ def test_fig10_inexact_traffic(benchmark, capsys):
                 for cores in ENC_CORE_COUNTS}
 
     data = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    sections = []
-    growth = {}
-    ack_share = {}
-    for cores in ENC_CORE_COUNTS:
-        points = coarseness_points(cores)
-        rows = []
-        for label in ("Directory", "PATCH"):
-            sweep = data[cores][label]
-            base_total = sweep[1].bytes_per_miss_mean
-            for coarseness in points:
-                per_miss = sweep[coarseness].traffic_per_miss_mean()
-                total = sum(per_miss.values())
-                growth[(cores, label, coarseness)] = total / base_total
-                ack_share[(cores, label, coarseness)] = (
-                    per_miss["Ack"] / total if total else 0.0)
-                rows.append(
-                    [f"{label}-{cores}p", f"1:{coarseness}",
-                     f"{total / base_total:.2f}"] +
-                    [f"{per_miss[g] / base_total:.2f}" for g in GROUPS])
-        sections.append(format_table(
-            f"Figure 10 [{cores} cores, 2B/cy]: traffic/miss normalized "
-            "to the protocol's full-map total",
-            ["config", "enc", "total"] + list(GROUPS), rows))
-    text = "\n\n".join(sections)
+    text, growth, ack_share = render_fig10(data, ENC_CORE_COUNTS)
     report("fig10_inexact_traffic", text, capsys)
 
     largest = max(ENC_CORE_COUNTS)

@@ -12,29 +12,14 @@ Paper claims checked (Section 8.2/8.3):
 
 import pytest
 
-from repro.core.runner import normalized_runtimes
-from repro.stats.counters import geometric_mean
+from repro.bench import render_fig4
 
-from _shared import FIG4_WORKLOADS, fig45_results, format_table, report
+from _shared import FIG4_WORKLOADS, fig45_results, report
 
 
 def test_fig4_runtime(benchmark, capsys):
     results = benchmark.pedantic(fig45_results, rounds=1, iterations=1)
-    labels = list(next(iter(results.values())).keys())
-    rows = []
-    normalized_by_workload = {}
-    for workload in FIG4_WORKLOADS:
-        normalized = normalized_runtimes(results[workload])
-        normalized_by_workload[workload] = normalized
-        rows.append([workload] + [f"{normalized[label]:.3f}"
-                                  for label in labels])
-    geo = {label: geometric_mean([normalized_by_workload[w][label]
-                                  for w in FIG4_WORKLOADS])
-           for label in labels}
-    rows.append(["geomean"] + [f"{geo[label]:.3f}" for label in labels])
-    text = format_table(
-        "Figure 4: runtime normalized to Directory (lower is better)",
-        ["workload"] + labels, rows)
+    text, geo, normalized_by_workload = render_fig4(results, FIG4_WORKLOADS)
     report("fig4_runtime", text, capsys)
 
     # --- shape assertions --------------------------------------------------

@@ -11,35 +11,16 @@ Paper claims checked:
 
 import pytest
 
-from repro.core.runner import normalized_traffic
-from repro.stats.traffic import FIGURE5_ORDER
+from repro.bench import render_fig5
 
-from _shared import FIG4_WORKLOADS, fig45_results, format_table, report
+from _shared import FIG4_WORKLOADS, fig45_results, report
 
 
 def test_fig5_traffic(benchmark, capsys):
     results = benchmark.pedantic(fig45_results, rounds=1, iterations=1)
-    labels = list(next(iter(results.values())).keys())
-    sections = []
-    totals = {label: [] for label in labels}
-    for workload in FIG4_WORKLOADS:
-        traffic = normalized_traffic(results[workload])
-        rows = []
-        for label in labels:
-            breakdown = traffic[label]
-            total = sum(breakdown.values())
-            totals[label].append(total)
-            rows.append([label, f"{total:.2f}"] +
-                        [f"{breakdown[group]:.2f}"
-                         for group in FIGURE5_ORDER])
-        sections.append(format_table(
-            f"Figure 5 [{workload}]: traffic/miss normalized to Directory",
-            ["config", "total"] + list(FIGURE5_ORDER), rows))
-    text = "\n\n".join(sections)
+    text, avg, traffic_by_workload = render_fig5(results, FIG4_WORKLOADS)
     report("fig5_traffic", text, capsys)
 
-    avg = {label: sum(values) / len(values)
-           for label, values in totals.items()}
     # PATCH-None close to Directory (token writebacks + activations only).
     assert avg["PATCH-None"] < 1.15
     # Direct requests cost traffic: All >> Owner >= None.
@@ -51,7 +32,7 @@ def test_fig5_traffic(benchmark, capsys):
     # traffic-hungry PATCH variant by a wide margin).
     assert avg["PATCH-All"] > 1.4
     for workload in FIG4_WORKLOADS:
-        traffic = normalized_traffic(results[workload])
+        traffic = traffic_by_workload[workload]
         # Direct-request bytes only exist for the direct-request variants.
         assert traffic["Directory"]["Dir. Req."] == 0.0
         assert traffic["PATCH-None"]["Dir. Req."] == 0.0

@@ -10,7 +10,9 @@ normalized to DIRECTORY at the same bandwidth.  Paper claims:
 
 import pytest
 
-from _shared import BW_POINTS, bandwidth_results, format_table, report
+from repro.bench import render_bandwidth
+
+from _shared import BW_POINTS, bandwidth_results, report
 
 WORKLOAD = "ocean"
 
@@ -18,21 +20,7 @@ WORKLOAD = "ocean"
 def test_fig6_bandwidth_ocean(benchmark, capsys):
     sweep = benchmark.pedantic(lambda: bandwidth_results(WORKLOAD),
                                rounds=1, iterations=1)
-    rows = []
-    series = {"PATCH-All-NA": {}, "PATCH-All": {}}
-    for bandwidth in BW_POINTS:
-        row = sweep[bandwidth]
-        base = row["Directory"].runtime_mean
-        na = row["PATCH-All-NA"].runtime_mean / base
-        be = row["PATCH-All"].runtime_mean / base
-        series["PATCH-All-NA"][bandwidth] = na
-        series["PATCH-All"][bandwidth] = be
-        rows.append([f"{bandwidth * 1000:.0f}", "1.000", f"{na:.3f}",
-                     f"{be:.3f}"])
-    text = format_table(
-        f"Figure 6 [{WORKLOAD}]: runtime normalized to Directory "
-        "vs link bandwidth",
-        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    text, series = render_bandwidth(sweep, WORKLOAD, 6, BW_POINTS)
     report("fig6_bandwidth_ocean", text, capsys)
 
     # Plentiful bandwidth: both variants at least match Directory.

@@ -2,7 +2,9 @@
 
 import pytest
 
-from _shared import BW_POINTS, bandwidth_results, format_table, report
+from repro.bench import render_bandwidth
+
+from _shared import BW_POINTS, bandwidth_results, report
 
 WORKLOAD = "jbb"
 
@@ -10,21 +12,7 @@ WORKLOAD = "jbb"
 def test_fig7_bandwidth_jbb(benchmark, capsys):
     sweep = benchmark.pedantic(lambda: bandwidth_results(WORKLOAD),
                                rounds=1, iterations=1)
-    rows = []
-    series = {"PATCH-All-NA": {}, "PATCH-All": {}}
-    for bandwidth in BW_POINTS:
-        row = sweep[bandwidth]
-        base = row["Directory"].runtime_mean
-        na = row["PATCH-All-NA"].runtime_mean / base
-        be = row["PATCH-All"].runtime_mean / base
-        series["PATCH-All-NA"][bandwidth] = na
-        series["PATCH-All"][bandwidth] = be
-        rows.append([f"{bandwidth * 1000:.0f}", "1.000", f"{na:.3f}",
-                     f"{be:.3f}"])
-    text = format_table(
-        f"Figure 7 [{WORKLOAD}]: runtime normalized to Directory "
-        "vs link bandwidth",
-        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    text, series = render_bandwidth(sweep, WORKLOAD, 7, BW_POINTS)
     report("fig7_bandwidth_jbb", text, capsys)
 
     # Same qualitative claims as Figure 6.

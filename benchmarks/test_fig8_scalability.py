@@ -16,24 +16,14 @@ are normalized per core count, so the within-N comparison is unaffected.
 
 import pytest
 
-from _shared import SCALE_CORES, scalability_results, format_table, report
+from repro.bench import render_fig8
+
+from _shared import SCALE_CORES, scalability_results, report
 
 
 def test_fig8_scalability(benchmark, capsys):
     sweep = benchmark.pedantic(scalability_results, rounds=1, iterations=1)
-    rows = []
-    na = {}
-    be = {}
-    for cores in SCALE_CORES:
-        row = sweep[cores]
-        base = row["Directory"].runtime_mean
-        na[cores] = row["PATCH-All-NA"].runtime_mean / base
-        be[cores] = row["PATCH-All"].runtime_mean / base
-        rows.append([cores, "1.000", f"{na[cores]:.3f}", f"{be[cores]:.3f}"])
-    text = format_table(
-        "Figure 8 [microbenchmark, 2B/cycle links]: runtime normalized "
-        "to Directory vs cores",
-        ["cores", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    text, na, be = render_fig8(sweep, SCALE_CORES)
     report("fig8_scalability", text, capsys)
 
     small = min(SCALE_CORES)

@@ -13,10 +13,9 @@ Paper claims:
 
 import pytest
 
-from repro.core.sweeps import coarseness_points
+from repro.bench import render_fig9
 
-from _shared import (ENC_CORE_COUNTS, encoding_results, format_table,
-                     report)
+from _shared import ENC_CORE_COUNTS, encoding_results, report
 
 
 def test_fig9_inexact_runtime(benchmark, capsys):
@@ -26,26 +25,7 @@ def test_fig9_inexact_runtime(benchmark, capsys):
                 for bounded in (False, True)}
 
     data = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    sections = []
-    worst = {}
-    for cores in ENC_CORE_COUNTS:
-        points = coarseness_points(cores)
-        rows = []
-        for label in ("Directory", "PATCH"):
-            for bounded in (False, True):
-                sweep = data[(cores, bounded)][label]
-                base = sweep[1].runtime_mean
-                normalized = {k: sweep[k].runtime_mean / base
-                              for k in points}
-                worst[(cores, label, bounded)] = max(normalized.values())
-                bw = "2B/cy" if bounded else "unbounded"
-                rows.append([f"{label}-{cores}p", bw] +
-                            [f"{normalized[k]:.3f}" for k in points])
-        sections.append(format_table(
-            f"Figure 9 [{cores} cores]: runtime normalized to full-map "
-            "(coarseness = cores per sharer bit)",
-            ["config", "bandwidth"] + [f"1:{k}" for k in points], rows))
-    text = "\n\n".join(sections)
+    text, worst = render_fig9(data, ENC_CORE_COUNTS)
     report("fig9_inexact_runtime", text, capsys)
 
     largest = max(ENC_CORE_COUNTS)

@@ -28,15 +28,17 @@ from repro import model
 from repro.config import SystemConfig, torus_dims_for
 from repro.core.results import RunResult
 from repro.core.runner import (PAPER_CONFIGS, compare_configs,
-                               normalized_runtimes, run_experiment, run_one)
+                               normalized_runtimes, run_experiment,
+                               run_matrix, run_one)
 from repro.core.system import System
+from repro.exec import ParallelRunner, ResultCache
 from repro.workloads.presets import WORKLOAD_NAMES, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "PAPER_CONFIGS", "RunResult", "System", "SystemConfig",
-    "WORKLOAD_NAMES", "__version__", "compare_configs", "make_workload",
-    "model", "normalized_runtimes", "run_experiment", "run_one",
-    "torus_dims_for",
+    "PAPER_CONFIGS", "ParallelRunner", "ResultCache", "RunResult",
+    "System", "SystemConfig", "WORKLOAD_NAMES", "__version__",
+    "compare_configs", "make_workload", "model", "normalized_runtimes",
+    "run_experiment", "run_matrix", "run_one", "torus_dims_for",
 ]

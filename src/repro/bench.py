@@ -1,0 +1,433 @@
+"""The figure suite as a library: bundles, renderers, and ``repro bench``.
+
+One module owns the scaled-down experiment grids behind every figure of
+the paper's evaluation (Section 8) so that the pytest benchmark suite
+(``benchmarks/``) and the ``repro bench`` CLI subcommand produce
+byte-identical tables from the same code:
+
+* :class:`BenchScale` pins the grid sizes; :data:`FULL_SCALE` matches
+  the benchmark suite, :data:`QUICK_SCALE` is the CI smoke-test size.
+* ``*_results`` functions run the experiment bundles through the
+  parallel runner (and therefore the shared on-disk result cache).
+* ``render_*`` functions turn bundles into the published text tables
+  plus the derived metrics the benchmark assertions check.
+* :func:`run_bench` drives the whole suite, writing each table to
+  ``benchmarks/results/`` and a machine-readable ``bench_results.json``
+  with per-figure wall-clock timings, cache statistics, and the paper's
+  headline comparison (PATCH-All vs. Directory and Token Coherence).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis import format_table
+from repro.config import SystemConfig
+from repro.core.runner import (PAPER_CONFIGS, normalized_runtimes,
+                               normalized_traffic, run_matrix)
+from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
+                               encoding_sweep, scalability_sweep)
+from repro.exec import ParallelRunner, get_default_runner
+from repro.stats.counters import geometric_mean
+from repro.stats.traffic import FIGURE5_ORDER
+
+#: Figure-10 message groups, in the paper's plotting order.
+FIG10_GROUPS = ("Data", "Ack", "Ind. Req.", "Forward")
+
+#: ``repro bench --check``: PATCH-All's geomean normalized runtime must
+#: beat Directory and sit within this tolerance of Token Coherence.  The
+#: paper's 64-core setup puts them within ~2%; at our scaled-down core
+#: counts Token Coherence's broadcasts are cheaper than at 64 cores and
+#: it leads PATCH-All by ~6% (see benchmarks/results/fig4_runtime.txt),
+#: so the regression guard allows up to 10%.
+HEADLINE_TOLERANCE = 0.10
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Grid sizes for one rendering of the figure suite.
+
+    The paper simulates 64-core full-system workloads for days; these
+    scales re-run the same protocol configurations at reduced core and
+    reference counts (comparisons are within-run and normalized, so the
+    *shape* of each figure is preserved — see benchmarks/_shared.py).
+    """
+
+    name: str
+    # Figures 4/5: the 6-config x N-workload grid.
+    fig4_workloads: Tuple[str, ...]
+    fig4_cores: int
+    fig4_refs: int
+    fig4_seeds: Tuple[int, ...]
+    # Figures 6/7: bandwidth adaptivity.
+    bw_cores: int
+    bw_refs: int
+    bw_seeds: Tuple[int, ...]
+    bw_points: Tuple[float, ...]
+    # Figure 8: scalability.
+    scale_cores: Tuple[int, ...]
+    scale_refs: Mapping[int, int]
+    # Figures 9/10: inexact sharer encodings.
+    enc_core_counts: Tuple[int, ...]
+    enc_refs: Mapping[int, int]
+    enc_table_blocks: Mapping[int, int]
+
+
+#: The benchmark suite's scale (regenerates the committed tables).
+FULL_SCALE = BenchScale(
+    name="full",
+    fig4_workloads=("jbb", "oltp", "apache", "barnes", "ocean"),
+    fig4_cores=16, fig4_refs=120, fig4_seeds=(1, 2),
+    bw_cores=16, bw_refs=100, bw_seeds=(1, 2),
+    bw_points=(0.3, 0.6, 0.9, 2.0, 4.0, 8.0),
+    scale_cores=(4, 8, 16, 32, 64, 128, 256),
+    scale_refs={4: 200, 8: 140, 16: 100, 32: 60, 64: 36, 128: 20, 256: 10,
+                512: 6},
+    enc_core_counts=(64, 128, 256),
+    enc_refs={16: 80, 32: 40, 64: 20, 128: 10, 256: 6},
+    enc_table_blocks={16: 96, 32: 192, 64: 384, 128: 768, 256: 1536},
+)
+
+#: CI smoke-test scale (``repro bench --quick``): same figures, smaller
+#: grids, single seeds.
+QUICK_SCALE = BenchScale(
+    name="quick",
+    fig4_workloads=("jbb", "oltp", "apache", "barnes", "ocean"),
+    fig4_cores=8, fig4_refs=60, fig4_seeds=(1,),
+    bw_cores=8, bw_refs=50, bw_seeds=(1,),
+    bw_points=(0.3, 2.0, 8.0),
+    scale_cores=(4, 8, 16, 32),
+    scale_refs={4: 100, 8: 70, 16: 50, 32: 30},
+    enc_core_counts=(16, 32),
+    enc_refs={16: 80, 32: 40},
+    enc_table_blocks={16: 96, 32: 192},
+)
+
+
+# ---------------------------------------------------------------------------
+# Experiment bundles (each one parallel batch through the runner/cache)
+# ---------------------------------------------------------------------------
+
+def fig45_results(scale: BenchScale = FULL_SCALE,
+                  runner: Optional[ParallelRunner] = None):
+    """The 6-configuration x N-workload grid behind Figures 4 and 5."""
+    base = SystemConfig(num_cores=scale.fig4_cores)
+    return run_matrix(base, scale.fig4_workloads,
+                      references_per_core=scale.fig4_refs,
+                      variants=PAPER_CONFIGS, seeds=scale.fig4_seeds,
+                      runner=runner)
+
+
+def bandwidth_results(workload: str, scale: BenchScale = FULL_SCALE,
+                      runner: Optional[ParallelRunner] = None):
+    """Runtime vs link bandwidth (Figures 6 and 7)."""
+    base = SystemConfig(num_cores=scale.bw_cores)
+    return bandwidth_sweep(base, workload, references_per_core=scale.bw_refs,
+                           bandwidths=scale.bw_points, seeds=scale.bw_seeds,
+                           runner=runner)
+
+
+def scalability_results(scale: BenchScale = FULL_SCALE,
+                        runner: Optional[ParallelRunner] = None):
+    """Runtime vs core count on the microbenchmark (Figure 8)."""
+    base = SystemConfig(num_cores=4, link_bandwidth=2.0)
+    # The paper runs the 16k-entry table to steady state; our shortened
+    # reference quotas would make that all cold misses, so the table
+    # scales with N to hold block reuse (hence sharing-miss density)
+    # constant across the sweep.
+    return scalability_sweep(
+        base, core_counts=scale.scale_cores,
+        references_for=dict(scale.scale_refs), seeds=(1,),
+        workload_kwargs_for=lambda cores: {
+            "table_blocks": min(16 * 1024, 24 * cores)},
+        runner=runner)
+
+
+def encoding_results(num_cores: int, bounded: bool,
+                     scale: BenchScale = FULL_SCALE,
+                     runner: Optional[ParallelRunner] = None):
+    """Runtime/traffic vs encoding coarseness (Figures 9 and 10)."""
+    bandwidth = 2.0 if bounded else 1000.0
+    base = SystemConfig(num_cores=4, link_bandwidth=bandwidth)
+    return encoding_sweep(base, num_cores=num_cores,
+                          references_per_core=scale.enc_refs[num_cores],
+                          coarseness_values=tuple(
+                              coarseness_points(num_cores)),
+                          seeds=(1,),
+                          table_blocks=scale.enc_table_blocks[num_cores],
+                          runner=runner)
+
+
+# ---------------------------------------------------------------------------
+# Table renderers (shared by benchmarks/ and `repro bench`)
+# ---------------------------------------------------------------------------
+
+def render_fig4(results, workloads: Sequence[str]):
+    """Figure 4 table + geomean and per-workload normalized runtimes."""
+    labels = list(next(iter(results.values())).keys())
+    rows = []
+    normalized_by_workload = {}
+    for workload in workloads:
+        normalized = normalized_runtimes(results[workload])
+        normalized_by_workload[workload] = normalized
+        rows.append([workload] + [f"{normalized[label]:.3f}"
+                                  for label in labels])
+    geo = {label: geometric_mean([normalized_by_workload[w][label]
+                                  for w in workloads])
+           for label in labels}
+    rows.append(["geomean"] + [f"{geo[label]:.3f}" for label in labels])
+    text = format_table(
+        "Figure 4: runtime normalized to Directory (lower is better)",
+        ["workload"] + labels, rows)
+    return text, geo, normalized_by_workload
+
+
+def render_fig5(results, workloads: Sequence[str]):
+    """Figure 5 tables + average normalized traffic totals per config."""
+    labels = list(next(iter(results.values())).keys())
+    sections = []
+    totals: Dict[str, List[float]] = {label: [] for label in labels}
+    traffic_by_workload = {}
+    for workload in workloads:
+        traffic = normalized_traffic(results[workload])
+        traffic_by_workload[workload] = traffic
+        rows = []
+        for label in labels:
+            breakdown = traffic[label]
+            total = sum(breakdown.values())
+            totals[label].append(total)
+            rows.append([label, f"{total:.2f}"] +
+                        [f"{breakdown[group]:.2f}"
+                         for group in FIGURE5_ORDER])
+        sections.append(format_table(
+            f"Figure 5 [{workload}]: traffic/miss normalized to Directory",
+            ["config", "total"] + list(FIGURE5_ORDER), rows))
+    text = "\n\n".join(sections)
+    avg = {label: sum(values) / len(values)
+           for label, values in totals.items()}
+    return text, avg, traffic_by_workload
+
+
+def render_bandwidth(sweep, workload: str, figure_number: int,
+                     points: Sequence[float]):
+    """Figure 6/7 table + normalized-runtime series per PATCH variant."""
+    rows = []
+    series = {"PATCH-All-NA": {}, "PATCH-All": {}}
+    for bandwidth in points:
+        row = sweep[bandwidth]
+        base = row["Directory"].runtime_mean
+        na = row["PATCH-All-NA"].runtime_mean / base
+        be = row["PATCH-All"].runtime_mean / base
+        series["PATCH-All-NA"][bandwidth] = na
+        series["PATCH-All"][bandwidth] = be
+        rows.append([f"{bandwidth * 1000:.0f}", "1.000", f"{na:.3f}",
+                     f"{be:.3f}"])
+    text = format_table(
+        f"Figure {figure_number} [{workload}]: runtime normalized to "
+        "Directory vs link bandwidth",
+        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    return text, series
+
+
+def render_fig8(sweep, core_counts: Sequence[int]):
+    """Figure 8 table + normalized runtimes of both PATCH variants."""
+    rows = []
+    na = {}
+    be = {}
+    for cores in core_counts:
+        row = sweep[cores]
+        base = row["Directory"].runtime_mean
+        na[cores] = row["PATCH-All-NA"].runtime_mean / base
+        be[cores] = row["PATCH-All"].runtime_mean / base
+        rows.append([cores, "1.000", f"{na[cores]:.3f}", f"{be[cores]:.3f}"])
+    text = format_table(
+        "Figure 8 [microbenchmark, 2B/cycle links]: runtime normalized "
+        "to Directory vs cores",
+        ["cores", "Directory", "PATCH-All-NA", "PATCH-All"], rows)
+    return text, na, be
+
+
+def render_fig9(data, core_counts: Sequence[int]):
+    """Figure 9 tables + worst normalized runtime per (cores, label, bw).
+
+    ``data`` maps ``(cores, bounded)`` to an encoding sweep.
+    """
+    sections = []
+    worst = {}
+    for cores in core_counts:
+        points = coarseness_points(cores)
+        rows = []
+        for label in ("Directory", "PATCH"):
+            for bounded in (False, True):
+                sweep = data[(cores, bounded)][label]
+                base = sweep[1].runtime_mean
+                normalized = {k: sweep[k].runtime_mean / base
+                              for k in points}
+                worst[(cores, label, bounded)] = max(normalized.values())
+                bw = "2B/cy" if bounded else "unbounded"
+                rows.append([f"{label}-{cores}p", bw] +
+                            [f"{normalized[k]:.3f}" for k in points])
+        sections.append(format_table(
+            f"Figure 9 [{cores} cores]: runtime normalized to full-map "
+            "(coarseness = cores per sharer bit)",
+            ["config", "bandwidth"] + [f"1:{k}" for k in points], rows))
+    text = "\n\n".join(sections)
+    return text, worst
+
+
+def render_fig10(data, core_counts: Sequence[int]):
+    """Figure 10 tables + traffic growth and ack share per config.
+
+    ``data`` maps ``cores`` to a bounded-bandwidth encoding sweep.
+    """
+    sections = []
+    growth = {}
+    ack_share = {}
+    for cores in core_counts:
+        points = coarseness_points(cores)
+        rows = []
+        for label in ("Directory", "PATCH"):
+            sweep = data[cores][label]
+            base_total = sweep[1].bytes_per_miss_mean
+            for coarseness in points:
+                per_miss = sweep[coarseness].traffic_per_miss_mean()
+                total = sum(per_miss.values())
+                growth[(cores, label, coarseness)] = total / base_total
+                ack_share[(cores, label, coarseness)] = (
+                    per_miss["Ack"] / total if total else 0.0)
+                rows.append(
+                    [f"{label}-{cores}p", f"1:{coarseness}",
+                     f"{total / base_total:.2f}"] +
+                    [f"{per_miss[g] / base_total:.2f}"
+                     for g in FIG10_GROUPS])
+        sections.append(format_table(
+            f"Figure 10 [{cores} cores, 2B/cy]: traffic/miss normalized "
+            "to the protocol's full-map total",
+            ["config", "enc", "total"] + list(FIG10_GROUPS), rows))
+    text = "\n\n".join(sections)
+    return text, growth, ack_share
+
+
+# ---------------------------------------------------------------------------
+# `repro bench` driver
+# ---------------------------------------------------------------------------
+
+def headline_check(geo: Mapping[str, float],
+                   tolerance: float = HEADLINE_TOLERANCE) -> Dict[str, object]:
+    """The paper's headline comparison, as a machine-readable verdict.
+
+    PATCH-All must outperform Directory overall and stay within noise
+    of Token Coherence (the paper's Section 8.2 conclusion).
+    """
+    patch_all = geo["PATCH-All"]
+    tokenb = geo["Token Coherence"]
+    return {
+        "patch_all_geomean": patch_all,
+        "token_coherence_geomean": tokenb,
+        "tolerance": tolerance,
+        "beats_directory": patch_all < 1.0,
+        "within_noise_of_token_coherence": patch_all <= tokenb + tolerance,
+        "ok": patch_all < 1.0 and patch_all <= tokenb + tolerance,
+    }
+
+
+def run_bench(quick: bool = False,
+              runner: Optional[ParallelRunner] = None,
+              results_dir: str = os.path.join("benchmarks", "results"),
+              out_path: str = "bench_results.json",
+              check: bool = False,
+              scale: Optional[BenchScale] = None,
+              echo=print) -> int:
+    """Regenerate every figure table; write tables + bench_results.json.
+
+    Returns a process exit code: non-zero only when ``check`` is set and
+    the headline assertion fails.  ``scale`` overrides the quick/full
+    selection (tests use this to run a miniature suite).
+    """
+    if scale is None:
+        scale = QUICK_SCALE if quick else FULL_SCALE
+    runner = runner if runner is not None else get_default_runner()
+    os.makedirs(results_dir, exist_ok=True)
+    timings: Dict[str, float] = {}
+    table_paths: List[str] = []
+
+    def emit(name: str, text: str, elapsed: float) -> None:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        table_paths.append(path)
+        figure = name.split("_")[0]
+        timings[figure] = round(elapsed, 6)
+        echo(f"[{figure:>6}] {elapsed:8.2f}s  -> {path}")
+
+    suite_start = time.perf_counter()
+
+    # Figures 4/5 share one experiment grid; fig4 absorbs its cost.
+    start = time.perf_counter()
+    results45 = fig45_results(scale, runner)
+    text, geo, _ = render_fig4(results45, scale.fig4_workloads)
+    emit("fig4_runtime", text, time.perf_counter() - start)
+    start = time.perf_counter()
+    text, _, _ = render_fig5(results45, scale.fig4_workloads)
+    emit("fig5_traffic", text, time.perf_counter() - start)
+
+    for figure_number, workload, name in ((6, "ocean", "fig6_bandwidth_ocean"),
+                                          (7, "jbb", "fig7_bandwidth_jbb")):
+        start = time.perf_counter()
+        sweep = bandwidth_results(workload, scale, runner)
+        text, _ = render_bandwidth(sweep, workload, figure_number,
+                                   scale.bw_points)
+        emit(name, text, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    sweep = scalability_results(scale, runner)
+    text, _, _ = render_fig8(sweep, scale.scale_cores)
+    emit("fig8_scalability", text, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    enc_data = {(cores, bounded): encoding_results(cores, bounded, scale,
+                                                   runner)
+                for cores in scale.enc_core_counts
+                for bounded in (False, True)}
+    text, _ = render_fig9(enc_data, scale.enc_core_counts)
+    emit("fig9_inexact_runtime", text, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    bounded_data = {cores: enc_data[(cores, True)]
+                    for cores in scale.enc_core_counts}
+    text, _, _ = render_fig10(bounded_data, scale.enc_core_counts)
+    emit("fig10_inexact_traffic", text, time.perf_counter() - start)
+
+    total = time.perf_counter() - suite_start
+    headline = headline_check(geo)
+    report = {
+        "schema": 1,
+        "scale": scale.name,
+        "quick": quick,
+        "jobs": runner.jobs,
+        "cache": (runner.cache.stats() if runner.cache is not None
+                  else None),
+        "cache_dir": (str(runner.cache.root) if runner.cache is not None
+                      else None),
+        "timings_seconds": timings,
+        "total_seconds": round(total, 6),
+        "tables": table_paths,
+        "headline": headline,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    echo(f"[ total] {total:8.2f}s  -> {out_path}")
+    echo("headline: PATCH-All geomean "
+         f"{headline['patch_all_geomean']:.3f} vs Token Coherence "
+         f"{headline['token_coherence_geomean']:.3f} "
+         f"({'OK' if headline['ok'] else 'REGRESSION'})")
+    if check and not headline["ok"]:
+        echo("headline regression: PATCH-All no longer within noise of "
+             "Token Coherence / Directory")
+        return 1
+    return 0

@@ -10,26 +10,34 @@ regenerates the paper's experiments from the shell:
     repro fig6 --workload ocean
     repro fig8
     repro fig9 --cores 64
+    repro bench --quick --jobs 4
     repro list
 
 The figure subcommands print the same tables the benchmark suite
-produces (the benchmarks additionally assert the paper's claims).
+produces (the benchmarks additionally assert the paper's claims), and
+``repro bench`` regenerates the whole figure suite with machine-readable
+timings.  Experiment subcommands accept ``--jobs`` (process-pool width,
+default ``REPRO_JOBS`` or the CPU count), ``--no-cache``, and
+``--cache-dir`` (default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.analysis import bar_chart, format_table
+from repro.bench import (render_bandwidth, render_fig4, render_fig5,
+                         render_fig8, run_bench)
 from repro.config import PREDICTORS, PROTOCOLS, SystemConfig
 from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
-                               compare_configs, normalized_runtimes,
-                               normalized_traffic, run_one)
+                               run_experiment, run_matrix)
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
                                encoding_sweep, scalability_sweep)
-from repro.stats.traffic import FIGURE5_ORDER
+from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
+                        set_default_runner)
 from repro.workloads.presets import WORKLOAD_NAMES
 
 
@@ -43,6 +51,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(WORKLOAD_NAMES))
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: $REPRO_JOBS or the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+
+def _runner_from_args(args) -> Optional[ParallelRunner]:
+    """Build the runner described by --jobs/--no-cache/--cache-dir."""
+    if not hasattr(args, "jobs"):
+        return None
+    # --no-cache always wins; the REPRO_NO_CACHE kill switch applies
+    # unless the user explicitly asked for a cache directory.
+    no_cache = args.no_cache or (args.cache_dir is None
+                                 and bool(os.environ.get(NO_CACHE_ENV)))
+    cache = None if no_cache else ResultCache(args.cache_dir)
+    return ParallelRunner(jobs=args.jobs, cache=cache)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation")
     _add_common(run)
+    _add_exec_options(run)
     run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
     run.add_argument("--predictor", default="all", choices=PREDICTORS)
     run.add_argument("--bandwidth", type=float, default=16.0,
@@ -65,20 +108,40 @@ def build_parser() -> argparse.ArgumentParser:
     fig4 = sub.add_parser("fig4", help="Figure 4/5: runtime and traffic "
                                        "across protocol configurations")
     _add_common(fig4)
+    _add_exec_options(fig4)
     fig4.add_argument("--workloads", nargs="*",
                       default=["jbb", "oltp", "apache", "barnes", "ocean"])
 
     fig6 = sub.add_parser("fig6", help="Figure 6/7: bandwidth adaptivity")
     _add_common(fig6)
+    _add_exec_options(fig6)
 
     fig8 = sub.add_parser("fig8", help="Figure 8: scalability sweep")
+    _add_exec_options(fig8)
     fig8.add_argument("--max-cores", type=int, default=64)
 
     fig9 = sub.add_parser("fig9", help="Figure 9/10: inexact encodings")
+    _add_exec_options(fig9)
     fig9.add_argument("--cores", type=int, default=64)
     fig9.add_argument("--refs", type=int, default=20)
     fig9.add_argument("--bandwidth", type=float, default=2.0)
     fig9.add_argument("--seed", type=int, default=1)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the full figure suite with timings")
+    _add_exec_options(bench)
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke-test scale (smaller grids, 1 seed)")
+    bench.add_argument("--results-dir",
+                       default=os.path.join("benchmarks", "results"),
+                       help="where the rendered tables go "
+                            "(default benchmarks/results)")
+    bench.add_argument("--out", default="bench_results.json",
+                       help="machine-readable timing/headline report path")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero if the paper's headline claim "
+                            "(PATCH-All within noise of Token Coherence) "
+                            "regressed")
 
     sub.add_parser("list", help="list workloads and configurations")
     return parser
@@ -95,8 +158,10 @@ def cmd_run(args) -> int:
                           link_bandwidth=args.bandwidth,
                           encoding_coarseness=args.coarseness,
                           best_effort_direct=not args.non_adaptive)
-    result = run_one(config, args.workload, references_per_core=args.refs,
-                     seed=args.seed)
+    # Through the runner (not run_one) so --cache-dir / --no-cache apply.
+    result = run_experiment(config, args.workload,
+                            references_per_core=args.refs,
+                            seeds=(args.seed,)).runs[0]
     print(result.summary())
     print(bar_chart("traffic/miss by class (bytes)",
                     {k: v for k, v in result.traffic_per_miss().items()
@@ -106,26 +171,13 @@ def cmd_run(args) -> int:
 
 def cmd_fig4(args) -> int:
     base = SystemConfig(num_cores=args.cores)
-    labels = list(PAPER_CONFIGS)
-    runtime_rows = []
-    for workload in args.workloads:
-        results = compare_configs(base, workload,
-                                  references_per_core=args.refs,
-                                  seeds=(args.seed,))
-        normalized = normalized_runtimes(results)
-        runtime_rows.append([workload] + [f"{normalized[l]:.3f}"
-                                          for l in labels])
-        traffic = normalized_traffic(results)
-        traffic_rows = [[l, f"{sum(traffic[l].values()):.2f}"] +
-                        [f"{traffic[l][g]:.2f}" for g in FIGURE5_ORDER]
-                        for l in labels]
-        print(format_table(
-            f"Figure 5 [{workload}]: traffic/miss normalized to Directory",
-            ["config", "total"] + list(FIGURE5_ORDER), traffic_rows))
-        print()
-    print(format_table(
-        "Figure 4: runtime normalized to Directory",
-        ["workload"] + labels, runtime_rows))
+    matrix = run_matrix(base, args.workloads, references_per_core=args.refs,
+                        seeds=(args.seed,))
+    fig5_text, _, _ = render_fig5(matrix, args.workloads)
+    print(fig5_text)
+    print()
+    fig4_text, _, _ = render_fig4(matrix, args.workloads)
+    print(fig4_text)
     return 0
 
 
@@ -134,15 +186,10 @@ def cmd_fig6(args) -> int:
     sweep = bandwidth_sweep(base, args.workload,
                             references_per_core=args.refs,
                             seeds=(args.seed,))
-    rows = []
-    for bandwidth, row in sweep.items():
-        base_rt = row["Directory"].runtime_mean
-        rows.append([f"{bandwidth * 1000:.0f}", "1.000",
-                     f"{row['PATCH-All-NA'].runtime_mean / base_rt:.3f}",
-                     f"{row['PATCH-All'].runtime_mean / base_rt:.3f}"])
-    print(format_table(
-        f"Figures 6/7 [{args.workload}]: runtime normalized to Directory",
-        ["bytes/1000cy", "Directory", "PATCH-All-NA", "PATCH-All"], rows))
+    figure_number = {"ocean": 6, "jbb": 7}.get(args.workload, 6)
+    text, _ = render_bandwidth(sweep, args.workload, figure_number,
+                               tuple(sweep))
+    print(text)
     return 0
 
 
@@ -156,15 +203,8 @@ def cmd_fig8(args) -> int:
         base, core_counts=core_counts, references_for=refs, seeds=(1,),
         workload_kwargs_for=lambda cores: {
             "table_blocks": min(16 * 1024, 24 * cores)})
-    rows = []
-    for cores, row in sweep.items():
-        base_rt = row["Directory"].runtime_mean
-        rows.append([cores, "1.000",
-                     f"{row['PATCH-All-NA'].runtime_mean / base_rt:.3f}",
-                     f"{row['PATCH-All'].runtime_mean / base_rt:.3f}"])
-    print(format_table(
-        "Figure 8 [microbenchmark, 2B/cy]: runtime normalized to Directory",
-        ["cores", "Directory", "PATCH-All-NA", "PATCH-All"], rows))
+    text, _, _ = render_fig8(sweep, core_counts)
+    print(text)
     return 0
 
 
@@ -193,6 +233,11 @@ def cmd_fig9(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    return run_bench(quick=args.quick, results_dir=args.results_dir,
+                     out_path=args.out, check=args.check)
+
+
 def cmd_list(args) -> int:
     print("Workloads:")
     for name in sorted(WORKLOAD_NAMES):
@@ -212,13 +257,21 @@ COMMANDS = {
     "fig6": cmd_fig6,
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
+    "bench": cmd_bench,
     "list": cmd_list,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    runner = _runner_from_args(args)
+    if runner is not None:
+        set_default_runner(runner)
+    try:
+        return COMMANDS[args.command](args)
+    finally:
+        if runner is not None:
+            set_default_runner(None)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script

@@ -1,16 +1,24 @@
 """Experiment runner: seeded repetitions, confidence intervals, and the
-named protocol configurations used throughout the paper's evaluation."""
+named protocol configurations used throughout the paper's evaluation.
+
+Every entry point here decomposes its experiment grid into independent
+(config, workload, seed) cells and submits them as one batch to a
+:class:`~repro.exec.parallel.ParallelRunner` (the process-wide default
+unless ``runner=`` is given), which fans them across worker processes
+and consults the on-disk result cache.  Batches are assembled back in
+deterministic order, so parallel runs are bit-identical to serial ones.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core.results import RunResult
-from repro.core.system import System
+from repro.exec import ParallelRunner, execute_cell, get_default_runner, \
+    make_cell
 from repro.stats.ci import ConfidenceInterval, t_interval
-from repro.workloads.presets import make_workload
 
 #: The six configurations of Figures 4 and 5, in the paper's order.
 PAPER_CONFIGS: Dict[str, dict] = {
@@ -62,26 +70,50 @@ class ExperimentResult:
                 for name, value in totals.items()}
 
 
+def _resolve(runner: Optional[ParallelRunner]) -> ParallelRunner:
+    return runner if runner is not None else get_default_runner()
+
+
+def run_grouped_cells(cells: Sequence, slots: Sequence,
+                      runner: Optional[ParallelRunner] = None
+                      ) -> Dict[object, List[RunResult]]:
+    """Execute one batch of cells and regroup the runs per slot key.
+
+    ``slots`` aligns with ``cells``: slot ``i`` names the experiment
+    cell ``i`` belongs to (e.g. ``(workload, label)``).  Because
+    ``run_cells`` preserves input order, each slot's run list comes back
+    in cell-submission order, so grouping is deterministic regardless of
+    parallel completion order.  This is the single regrouping primitive
+    behind :func:`run_matrix` and every sweep.
+    """
+    runs = _resolve(runner).run_cells(cells)
+    grouped: Dict[object, List[RunResult]] = {}
+    for slot, run in zip(slots, runs):
+        grouped.setdefault(slot, []).append(run)
+    return grouped
+
+
 def run_one(config: SystemConfig, workload_name: str,
             references_per_core: int, seed: int = 1,
             check_integrity: bool = True, **workload_kwargs) -> RunResult:
-    """Run a single seeded simulation."""
-    workload = make_workload(workload_name, num_cores=config.num_cores,
-                             seed=seed, **workload_kwargs)
-    system = System(config.with_updates(seed=seed), workload,
-                    references_per_core, check_integrity=check_integrity)
-    return system.run()
+    """Run a single seeded simulation in-process (no pool, no cache)."""
+    return execute_cell(make_cell(config, workload_name,
+                                  references_per_core, seed,
+                                  check_integrity=check_integrity,
+                                  **workload_kwargs))
 
 
 def run_experiment(config: SystemConfig, workload_name: str,
                    references_per_core: int,
                    seeds: Sequence[int] = (1, 2, 3),
                    label: Optional[str] = None,
+                   runner: Optional[ParallelRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     """Run one configuration across several seeds (paper methodology)."""
-    runs = [run_one(config, workload_name, references_per_core, seed,
-                    **workload_kwargs)
-            for seed in seeds]
+    cells = [make_cell(config, workload_name, references_per_core, seed,
+                       **workload_kwargs)
+             for seed in seeds]
+    runs = _resolve(runner).run_cells(cells)
     return ExperimentResult(label or config.describe(), runs)
 
 
@@ -89,15 +121,44 @@ def compare_configs(base_config: SystemConfig, workload_name: str,
                     references_per_core: int,
                     variants: Dict[str, dict] = PAPER_CONFIGS,
                     seeds: Sequence[int] = (1, 2, 3),
+                    runner: Optional[ParallelRunner] = None,
                     **workload_kwargs) -> Dict[str, ExperimentResult]:
     """Run every named variant on one workload (one Figure-4 group)."""
-    results = {}
-    for label, overrides in variants.items():
-        config = base_config.with_updates(**overrides)
-        results[label] = run_experiment(config, workload_name,
-                                        references_per_core, seeds,
-                                        label=label, **workload_kwargs)
-    return results
+    matrix = run_matrix(base_config, [workload_name], references_per_core,
+                        variants=variants, seeds=seeds, runner=runner,
+                        **workload_kwargs)
+    return matrix[workload_name]
+
+
+def run_matrix(base_config: SystemConfig, workloads: Sequence[str],
+               references_per_core: int,
+               variants: Dict[str, dict] = PAPER_CONFIGS,
+               seeds: Sequence[int] = (1, 2, 3),
+               runner: Optional[ParallelRunner] = None,
+               **workload_kwargs
+               ) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Run a (workload x variant x seed) grid as one parallel batch.
+
+    Returns ``{workload: {label: ExperimentResult}}`` with workloads and
+    labels in their given order.  Submitting the whole grid at once lets
+    the pool overlap cells across workloads and variants, not just
+    within one configuration's seeds.
+    """
+    cells = []
+    slots = []  # (workload, label) per cell, aligned with `cells`
+    for workload in workloads:
+        for label, overrides in variants.items():
+            config = base_config.with_updates(**overrides)
+            for seed in seeds:
+                cells.append(make_cell(config, workload,
+                                       references_per_core, seed,
+                                       **workload_kwargs))
+                slots.append((workload, label))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {workload: {label: ExperimentResult(label,
+                                               grouped[(workload, label)])
+                       for label in variants}
+            for workload in workloads}
 
 
 def normalized_runtimes(results: Dict[str, ExperimentResult],

@@ -2,15 +2,21 @@
 
 Each sweep returns plain dict structures so benchmarks, examples, and the
 CLI can all print the same series the paper plots.
+
+Like :mod:`repro.core.runner`, every sweep flattens its whole grid into
+one batch of independent cells and submits it to the (default or given)
+:class:`~repro.exec.parallel.ParallelRunner`, so sweep points run
+concurrently and completed cells come from the on-disk cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.core.runner import (ADAPTIVITY_CONFIGS, ExperimentResult,
-                               run_experiment)
+                               run_grouped_cells)
+from repro.exec import ParallelRunner, make_cell
 
 #: Link bandwidths of Figures 6/7, in bytes/cycle (the paper's axis is
 #: bytes per 1000 cycles: 300 ... 8000).
@@ -35,19 +41,23 @@ def bandwidth_sweep(base_config: SystemConfig, workload_name: str,
                     bandwidths: Sequence[float] = BANDWIDTH_POINTS,
                     seeds: Sequence[int] = (1, 2),
                     variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                    runner: Optional[ParallelRunner] = None,
                     ) -> Dict[float, Dict[str, ExperimentResult]]:
     """Runtime vs link bandwidth (Figures 6 and 7)."""
-    sweep: Dict[float, Dict[str, ExperimentResult]] = {}
+    cells, slots = [], []
     for bandwidth in bandwidths:
-        row = {}
         for label, overrides in variants.items():
             config = base_config.with_updates(link_bandwidth=bandwidth,
                                               **overrides)
-            row[label] = run_experiment(config, workload_name,
-                                        references_per_core, seeds,
-                                        label=label)
-        sweep[bandwidth] = row
-    return sweep
+            for seed in seeds:
+                cells.append(make_cell(config, workload_name,
+                                       references_per_core, seed))
+                slots.append((bandwidth, label))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {bandwidth: {label: ExperimentResult(label,
+                                                grouped[(bandwidth, label)])
+                        for label in variants}
+            for bandwidth in bandwidths}
 
 
 def scalability_sweep(base_config: SystemConfig,
@@ -57,6 +67,7 @@ def scalability_sweep(base_config: SystemConfig,
                       variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
                       workload_name: str = "microbench",
                       workload_kwargs_for=None,
+                      runner: Optional[ParallelRunner] = None,
                       ) -> Dict[int, Dict[str, ExperimentResult]]:
     """Runtime vs core count on the microbenchmark (Figure 8).
 
@@ -68,18 +79,21 @@ def scalability_sweep(base_config: SystemConfig,
     microbenchmark's table with N so block reuse stays constant across
     the sweep despite the shrinking reference quotas).
     """
-    sweep: Dict[int, Dict[str, ExperimentResult]] = {}
+    cells, slots = [], []
     for cores in core_counts:
-        row = {}
         refs = references_for[cores]
         kwargs = workload_kwargs_for(cores) if workload_kwargs_for else {}
         for label, overrides in variants.items():
             config = base_config.with_updates(num_cores=cores,
                                               torus_dims=None, **overrides)
-            row[label] = run_experiment(config, workload_name, refs, seeds,
-                                        label=label, **kwargs)
-        sweep[cores] = row
-    return sweep
+            for seed in seeds:
+                cells.append(make_cell(config, workload_name, refs, seed,
+                                       **kwargs))
+                slots.append((cores, label))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {cores: {label: ExperimentResult(label, grouped[(cores, label)])
+                    for label in variants}
+            for cores in core_counts}
 
 
 def encoding_sweep(base_config: SystemConfig, num_cores: int,
@@ -87,18 +101,25 @@ def encoding_sweep(base_config: SystemConfig, num_cores: int,
                    coarseness_values: Sequence[int],
                    seeds: Sequence[int] = (1,),
                    workload_name: str = "microbench",
+                   runner: Optional[ParallelRunner] = None,
                    **workload_kwargs,
                    ) -> Dict[str, Dict[int, ExperimentResult]]:
     """Runtime/traffic vs sharer-encoding coarseness (Figures 9 and 10)."""
-    sweep: Dict[str, Dict[int, ExperimentResult]] = {
-        "Directory": {}, "PATCH": {}}
+    pairs = (("Directory", "directory"), ("PATCH", "patch"))
+    cells, slots = [], []
     for coarseness in coarseness_values:
-        for label, protocol in (("Directory", "directory"),
-                                ("PATCH", "patch")):
+        for label, protocol in pairs:
             config = base_config.with_updates(
                 num_cores=num_cores, torus_dims=None, protocol=protocol,
                 predictor="none", encoding_coarseness=coarseness)
-            sweep[label][coarseness] = run_experiment(
-                config, workload_name, references_per_core, seeds,
-                label=f"{label}-1:{coarseness}", **workload_kwargs)
-    return sweep
+            for seed in seeds:
+                cells.append(make_cell(config, workload_name,
+                                       references_per_core, seed,
+                                       **workload_kwargs))
+                slots.append((label, coarseness))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {label: {coarseness: ExperimentResult(
+                        f"{label}-1:{coarseness}",
+                        grouped[(label, coarseness)])
+                    for coarseness in coarseness_values}
+            for label, _ in pairs}

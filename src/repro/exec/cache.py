@@ -1,0 +1,185 @@
+"""Content-addressed on-disk cache of completed simulation runs.
+
+Every cache entry is one JSON file named by the SHA-256 of a canonical
+description of the run: the full :class:`SystemConfig`, the workload
+name and kwargs, the per-core reference quota, the seed, and a *code
+version* fingerprint hashing every ``repro`` source file.  Touching any
+source file therefore invalidates the whole cache; changing any config
+field moves the run to a new key.  Each code version gets its own
+generation directory, and stale generations are pruned automatically
+(see :attr:`ResultCache.KEEP_GENERATIONS`), so iterating on the source
+does not grow the cache without bound.  Entries are written atomically
+(temp file + ``os.replace``) so concurrent writers on a shared cache
+directory can never leave a torn file, and unreadable entries are
+treated as misses rather than errors.
+
+The default location is ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR`` or the CLI's ``--cache-dir``).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.core.results import RunResult
+from repro.exec.cells import Cell, cell_to_dict
+from repro.exec.serialization import (SCHEMA_VERSION, run_result_from_dict,
+                                      run_result_to_dict)
+
+#: Environment override for the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Set (to anything non-empty) to disable the default runner's cache.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+#: Overrides the computed source-tree fingerprint (used by tests).
+CODE_VERSION_ENV = "REPRO_CODE_VERSION"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Fingerprint of the installed ``repro`` source tree.
+
+    Any edit to any ``.py`` file under the package changes the
+    fingerprint, so cached results can never outlive the code that
+    produced them.
+    """
+    env = os.environ.get(CODE_VERSION_ENV)
+    if env:
+        return env
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def cache_key(cell: Cell, version: Optional[str] = None) -> str:
+    """Stable content hash identifying one run."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code_version": version if version is not None else code_version(),
+        "cell": cell_to_dict(cell),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store mapping cells to serialized :class:`RunResult`\\ s.
+
+    Entries live under a per-code-version generation directory
+    (``<root>/v-<hash>/``).  Since editing any source file retires a
+    whole generation at once, the first store into a new generation
+    prunes the oldest ones, keeping :data:`KEEP_GENERATIONS` — the cache
+    cannot grow without bound across edit/re-run cycles.
+    """
+
+    #: Generations (current included) preserved on disk.
+    KEEP_GENERATIONS = 3
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.store_errors = 0
+        self._pruned = False
+
+    # ------------------------------------------------------------------
+    def generation_dir(self) -> Path:
+        return self.root / f"v-{code_version()}"
+
+    def path_for(self, cell: Cell) -> Path:
+        key = cache_key(cell)
+        return self.generation_dir() / key[:2] / f"{key}.json"
+
+    def _prune_stale_generations(self) -> None:
+        """Drop all but the newest KEEP_GENERATIONS generation dirs."""
+        if self._pruned:
+            return
+        self._pruned = True
+        current = self.generation_dir()
+        try:
+            os.utime(current)  # mark the live generation as newest
+            stale = sorted(
+                (path for path in self.root.iterdir()
+                 if path.is_dir() and path.name.startswith("v-")
+                 and path != current),
+                key=lambda path: path.stat().st_mtime, reverse=True)
+        except OSError:
+            return
+        for path in stale[self.KEEP_GENERATIONS - 1:]:
+            shutil.rmtree(path, ignore_errors=True)
+
+    def load(self, cell: Cell) -> Optional[RunResult]:
+        """Return the cached result for ``cell``, or None on a miss."""
+        path = self.path_for(cell)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            result = run_result_from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, cell: Cell, result: RunResult) -> Optional[Path]:
+        """Atomically persist ``result`` under the cell's key.
+
+        Like :meth:`load`, storage degrades gracefully: an unwritable or
+        full cache directory must not abort an experiment whose
+        simulations already succeeded, so ``OSError`` is swallowed and
+        counted in ``store_errors`` (returning ``None``).
+        """
+        try:
+            path = self.path_for(cell)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._prune_stale_generations()
+            entry = {
+                "key": path.stem,
+                "cell": cell_to_dict(cell),
+                "result": run_result_to_dict(result),
+            }
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.store_errors += 1
+            return None
+        self.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "store_errors": self.store_errors}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

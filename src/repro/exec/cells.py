@@ -1,0 +1,72 @@
+"""Experiment cells: the unit of parallel execution and caching.
+
+A :class:`Cell` fully describes one independent simulation — a
+(config, workload, seed) point of the paper's evaluation grid — in a
+form that is hashable, picklable, and deterministically serializable.
+``execute_cell`` is the single code path that turns a cell into a
+:class:`~repro.core.results.RunResult`; the serial runner, the process
+pool workers, and ``run_one`` all funnel through it, which is what makes
+parallel execution bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, NamedTuple, Tuple
+
+from repro.config import SystemConfig
+from repro.core.results import RunResult
+
+
+class Cell(NamedTuple):
+    """One independent (config, workload, seed) simulation."""
+
+    config: SystemConfig
+    workload: str
+    references_per_core: int
+    seed: int
+    check_integrity: bool = True
+    #: Extra workload-constructor kwargs as a sorted tuple of pairs so the
+    #: cell stays hashable and its serialization is deterministic.
+    workload_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+def make_cell(config: SystemConfig, workload_name: str,
+              references_per_core: int, seed: int,
+              check_integrity: bool = True, **workload_kwargs) -> Cell:
+    """Build a canonical cell (the seed is folded into the config)."""
+    return Cell(config=config.with_updates(seed=seed),
+                workload=workload_name,
+                references_per_core=references_per_core,
+                seed=seed,
+                check_integrity=check_integrity,
+                workload_kwargs=tuple(sorted(workload_kwargs.items())))
+
+
+def cell_to_dict(cell: Cell) -> Dict[str, Any]:
+    """JSON-safe description of a cell (used for cache keys and files)."""
+    config = asdict(cell.config)
+    config["torus_dims"] = list(config["torus_dims"])
+    return {
+        "config": config,
+        "workload": cell.workload,
+        "references_per_core": cell.references_per_core,
+        "seed": cell.seed,
+        "check_integrity": cell.check_integrity,
+        "workload_kwargs": [list(pair) for pair in cell.workload_kwargs],
+    }
+
+
+def execute_cell(cell: Cell) -> RunResult:
+    """Run one cell in-process and return its result."""
+    # Imported here (not at module top) to keep the worker-side import
+    # footprint explicit and cycle-free.
+    from repro.core.system import System
+    from repro.workloads.presets import make_workload
+
+    workload = make_workload(cell.workload,
+                             num_cores=cell.config.num_cores,
+                             seed=cell.seed, **dict(cell.workload_kwargs))
+    system = System(cell.config, workload, cell.references_per_core,
+                    check_integrity=cell.check_integrity)
+    return system.run()

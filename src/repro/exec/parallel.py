@@ -1,0 +1,160 @@
+"""Parallel experiment execution over a process pool.
+
+The evaluation grid is embarrassingly parallel: every (config, workload,
+seed) cell is an independent deterministic simulation.
+:class:`ParallelRunner` fans a batch of cells across a
+``ProcessPoolExecutor``, consults the on-disk :class:`ResultCache`
+first, and returns results in the order the cells were given regardless
+of completion order.
+
+Bit-identity with serial execution is guaranteed by construction: the
+kernel is deterministic per (seed, config), every execution path runs
+:func:`~repro.exec.cells.execute_cell`, and both the serial and the
+pooled path round-trip the result through the same JSON serialization
+the cache uses.
+
+A cell that raises in a worker — or a worker process that dies outright
+— fails the whole batch promptly with a :class:`CellExecutionError`
+naming the offending cell; nothing hangs waiting on a dead worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.results import RunResult
+from repro.exec.cache import NO_CACHE_ENV, ResultCache
+from repro.exec.cells import Cell, execute_cell
+from repro.exec.serialization import run_result_from_dict, run_result_to_dict
+
+#: Environment override for the worker count (CLI: ``--jobs``).
+JOBS_ENV = "REPRO_JOBS"
+
+
+class CellExecutionError(RuntimeError):
+    """One cell of an experiment batch failed (worker raise or crash)."""
+
+    def __init__(self, cell: Cell, cause: BaseException) -> None:
+        super().__init__(
+            f"experiment cell failed: {cell.config.describe()} "
+            f"workload={cell.workload!r} seed={cell.seed}: "
+            f"{type(cause).__name__}: {cause}")
+        self.cell = cell
+        self.cause = cause
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+    return os.cpu_count() or 1
+
+
+def _execute_cell_payload(cell: Cell) -> Dict[str, Any]:
+    """Worker entry point: run a cell, return its serialized result."""
+    return run_result_to_dict(execute_cell(cell))
+
+
+class ParallelRunner:
+    """Runs batches of experiment cells, in parallel and cache-aware.
+
+    ``jobs`` is the maximum worker count (``None`` resolves via
+    ``REPRO_JOBS`` / ``os.cpu_count()``); ``cache=None`` disables
+    result caching.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._jobs = jobs
+        self.cache = cache
+
+    @classmethod
+    def from_env(cls) -> "ParallelRunner":
+        """Runner configured purely from the environment."""
+        cache = None if os.environ.get(NO_CACHE_ENV) else ResultCache()
+        return cls(jobs=None, cache=cache)
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs if self._jobs is not None else default_jobs()
+
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
+        """Execute every cell, returning results in input order."""
+        cells = list(cells)
+        results: List[Optional[RunResult]] = [None] * len(cells)
+        pending: List[int] = []
+        for index, cell in enumerate(cells):
+            cached = self.cache.load(cell) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            for index in pending:
+                results[index] = self._finish(cells[index],
+                                              self._run_serial(cells[index]))
+        else:
+            self._run_pool(cells, pending, results, workers)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _finish(self, cell: Cell, result: RunResult) -> RunResult:
+        """Persist a freshly computed result immediately.
+
+        Storing per cell (not per batch) means one failing cell late in
+        a batch cannot discard the completed simulations before it.
+        """
+        if self.cache is not None:
+            self.cache.store(cell, result)
+        return result
+
+    def _run_serial(self, cell: Cell) -> RunResult:
+        try:
+            payload = _execute_cell_payload(cell)
+        except Exception as exc:
+            raise CellExecutionError(cell, exc) from exc
+        return run_result_from_dict(payload)
+
+    def _run_pool(self, cells: Sequence[Cell], pending: Sequence[int],
+                  results: List[Optional[RunResult]], workers: int) -> None:
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures = {executor.submit(_execute_cell_payload, cells[i]): i
+                       for i in pending}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done,
+                                      return_when=FIRST_EXCEPTION)
+                # Harvest every successful future in this wave before
+                # raising, so a failure cannot discard completed (and
+                # cacheable) results that happen to share its wave.
+                first_failure = None
+                for future in done:
+                    index = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        if first_failure is None:
+                            first_failure = (index, exc)
+                        continue
+                    results[index] = self._finish(
+                        cells[index], run_result_from_dict(payload))
+                if first_failure is not None:
+                    index, exc = first_failure
+                    raise CellExecutionError(cells[index], exc) from exc
+        except BaseException:
+            # Fail fast: drop queued work and don't wait for stragglers.
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)

@@ -26,7 +26,7 @@ class Event:
     such as PATCH's tenure timeout).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "_sim")
 
     def __init__(self, time: int, priority: int, seq: int,
                  callback: Callable[[], None]) -> None:
@@ -35,10 +35,15 @@ class Event:
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None  # set while queued
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -61,12 +66,20 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: Compact the heap once at least this many cancelled events are
+    #: queued *and* they outnumber the live ones; keeps tenure-timer-heavy
+    #: PATCH runs (which cancel most timers they set) from growing the
+    #: heap unboundedly while amortizing the rebuild cost.
+    COMPACTION_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._seq = 0
         self.now: int = 0
         self._events_processed = 0
         self._stopped = False
+        self._live = 0            # non-cancelled events in the queue
+        self._cancelled = 0       # cancelled events still in the queue
 
     @property
     def events_processed(self) -> int:
@@ -78,8 +91,10 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         event = Event(self.now + int(delay), priority, self._seq, callback)
+        event._sim = self
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: int, callback: Callable[[], None],
@@ -95,8 +110,25 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; maybe compact the heap."""
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled >= self.COMPACTION_MIN_CANCELLED
+                and self._cancelled > self._live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and re-heapify."""
+        for event in self._queue:
+            if event.cancelled:
+                event._sim = None
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> None:
@@ -113,8 +145,11 @@ class Simulator:
                 self.now = until
                 return
             heapq.heappop(self._queue)
+            event._sim = None  # no longer queued; late cancel() is a no-op
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._live -= 1
             if event.time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event queue time went backwards")
             self.now = event.time

@@ -1,0 +1,111 @@
+"""`repro bench` driver: tables, timings report, and headline check."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import (BenchScale, FULL_SCALE, QUICK_SCALE,
+                         headline_check, run_bench)
+from repro.exec import ParallelRunner, ResultCache
+
+#: A miniature scale so the whole suite runs in seconds.
+TINY_SCALE = BenchScale(
+    name="tiny",
+    fig4_workloads=("microbench",),
+    fig4_cores=4, fig4_refs=15, fig4_seeds=(1,),
+    bw_cores=4, bw_refs=10, bw_seeds=(1,),
+    bw_points=(0.3, 8.0),
+    scale_cores=(4, 8),
+    scale_refs={4: 15, 8: 8},
+    enc_core_counts=(4,),
+    enc_refs={4: 10},
+    enc_table_blocks={4: 24},
+)
+
+EXPECTED_TABLES = (
+    "fig4_runtime", "fig5_traffic", "fig6_bandwidth_ocean",
+    "fig7_bandwidth_jbb", "fig8_scalability", "fig9_inexact_runtime",
+    "fig10_inexact_traffic",
+)
+
+
+def test_run_bench_writes_tables_and_report(tmp_path):
+    results_dir = tmp_path / "results"
+    out = tmp_path / "bench_results.json"
+    cache = ResultCache(tmp_path / "cache")
+    code = run_bench(runner=ParallelRunner(jobs=1, cache=cache),
+                     results_dir=str(results_dir), out_path=str(out),
+                     scale=TINY_SCALE, echo=lambda *a, **k: None)
+    assert code == 0
+    for name in EXPECTED_TABLES:
+        table = results_dir / f"{name}.txt"
+        assert table.exists(), name
+        assert table.read_text().strip()
+
+    report = json.loads(out.read_text())
+    assert report["scale"] == "tiny"
+    assert report["jobs"] == 1
+    assert set(report["timings_seconds"]) == {
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+    assert report["total_seconds"] > 0
+    assert report["cache"]["stores"] == report["cache"]["misses"] > 0
+    assert report["headline"]["patch_all_geomean"] > 0
+    assert isinstance(report["headline"]["ok"], bool)
+
+
+def test_run_bench_warm_cache_skips_simulation(tmp_path):
+    kwargs = dict(results_dir=str(tmp_path / "results"),
+                  scale=TINY_SCALE, echo=lambda *a, **k: None)
+    cache = ResultCache(tmp_path / "cache")
+    run_bench(runner=ParallelRunner(jobs=1, cache=cache),
+              out_path=str(tmp_path / "cold.json"), **kwargs)
+    cold = json.loads((tmp_path / "cold.json").read_text())
+
+    warm_cache = ResultCache(tmp_path / "cache")
+    run_bench(runner=ParallelRunner(jobs=1, cache=warm_cache),
+              out_path=str(tmp_path / "warm.json"), **kwargs)
+    warm = json.loads((tmp_path / "warm.json").read_text())
+
+    assert warm["cache"]["misses"] == 0
+    assert warm["cache"]["hits"] == cold["cache"]["misses"]
+    # Identical tables either way.
+    for name in EXPECTED_TABLES:
+        path = tmp_path / "results" / f"{name}.txt"
+        assert path.exists(), name
+
+
+def test_headline_check_verdicts():
+    good = headline_check({"PATCH-All": 0.93, "Token Coherence": 0.87})
+    assert good["ok"] and good["beats_directory"]
+    slow = headline_check({"PATCH-All": 1.01, "Token Coherence": 0.87})
+    assert not slow["ok"] and not slow["beats_directory"]
+    far = headline_check({"PATCH-All": 0.99, "Token Coherence": 0.80})
+    assert not far["ok"]
+    assert far["beats_directory"]
+    assert not far["within_noise_of_token_coherence"]
+
+
+def test_check_flag_propagates_regression(tmp_path, monkeypatch):
+    import repro.bench as bench_mod
+    monkeypatch.setattr(
+        bench_mod, "headline_check",
+        lambda geo, tolerance=0.1: {"ok": False,
+                                    "patch_all_geomean": 1.0,
+                                    "token_coherence_geomean": 1.0,
+                                    "tolerance": tolerance})
+    code = run_bench(runner=ParallelRunner(jobs=1),
+                     results_dir=str(tmp_path / "results"),
+                     out_path=str(tmp_path / "bench.json"),
+                     scale=TINY_SCALE, check=True,
+                     echo=lambda *a, **k: None)
+    assert code == 1
+
+
+def test_scales_are_consistent():
+    for scale in (FULL_SCALE, QUICK_SCALE, TINY_SCALE):
+        for cores in scale.scale_cores:
+            assert cores in scale.scale_refs, (scale.name, cores)
+        for cores in scale.enc_core_counts:
+            assert cores in scale.enc_refs, (scale.name, cores)
+            assert cores in scale.enc_table_blocks, (scale.name, cores)

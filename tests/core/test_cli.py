@@ -85,3 +85,47 @@ def test_fig9_command(capsys):
     out = capsys.readouterr().out
     assert "Figures 9/10" in out
     assert "1:8" in out
+
+
+def test_exec_options_accepted_on_experiment_commands(capsys):
+    code = main(["run", "--protocol", "directory", "--workload",
+                 "microbench", "--cores", "4", "--refs", "20",
+                 "--jobs", "1", "--no-cache"])
+    assert code == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_run_command_uses_cache_dir(tmp_path, capsys):
+    argv = ["run", "--protocol", "directory", "--workload", "microbench",
+            "--cores", "4", "--refs", "20", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert any(tmp_path.rglob("*.json"))  # the run was cached
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first  # served from cache
+
+
+def test_fig4_with_jobs_and_cache_dir(tmp_path, capsys):
+    argv = ["fig4", "--cores", "4", "--refs", "15",
+            "--workloads", "microbench", "--cache-dir", str(tmp_path)]
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    # Second run: warm cache, more workers — identical tables.
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert any(tmp_path.iterdir())  # the cache was actually written
+
+
+def test_bench_command_writes_report(tmp_path, capsys, monkeypatch):
+    import repro.bench as bench_mod
+    from test_bench import TINY_SCALE
+    monkeypatch.setattr(bench_mod, "QUICK_SCALE", TINY_SCALE)
+    out = tmp_path / "bench_results.json"
+    code = main(["bench", "--quick", "--jobs", "1", "--no-cache",
+                 "--results-dir", str(tmp_path / "results"),
+                 "--out", str(out)])
+    assert code == 0
+    assert out.exists()
+    assert (tmp_path / "results" / "fig4_runtime.txt").exists()
+    assert "headline" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""On-disk result cache: hits, misses, and invalidation."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.exec import (ResultCache, cache_key, execute_cell, make_cell,
+                        run_result_to_dict)
+import repro.exec.cache as cache_mod
+
+BASE = SystemConfig(num_cores=4)
+
+
+@pytest.fixture(autouse=True)
+def _pinned_code_version(monkeypatch):
+    """Pin the source fingerprint so tests control invalidation."""
+    monkeypatch.setenv(cache_mod.CODE_VERSION_ENV, "test-version")
+    cache_mod.code_version.cache_clear()
+    yield
+    cache_mod.code_version.cache_clear()
+
+
+def test_miss_then_hit_round_trips_result(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = make_cell(BASE, "microbench", 20, seed=1)
+    assert cache.load(cell) is None
+    result = execute_cell(cell)
+    cache.store(cell, result)
+    cached = cache.load(cell)
+    assert cached is not None
+    assert run_result_to_dict(cached) == run_result_to_dict(result)
+    assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                             "store_errors": 0}
+
+
+def test_key_depends_on_config_workload_seed_and_kwargs():
+    cell = make_cell(BASE, "microbench", 20, seed=1)
+    variations = [
+        make_cell(BASE.with_updates(protocol="patch", predictor="all"),
+                  "microbench", 20, seed=1),
+        make_cell(BASE, "oltp", 20, seed=1),
+        make_cell(BASE, "microbench", 21, seed=1),
+        make_cell(BASE, "microbench", 20, seed=2),
+        make_cell(BASE, "microbench", 20, seed=1, table_blocks=99),
+        make_cell(BASE, "microbench", 20, seed=1, check_integrity=False),
+    ]
+    keys = {cache_key(cell)} | {cache_key(v) for v in variations}
+    assert len(keys) == len(variations) + 1  # all distinct
+
+
+def test_config_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = make_cell(BASE, "microbench", 20, seed=1)
+    cache.store(cell, execute_cell(cell))
+    changed = make_cell(BASE.with_updates(link_bandwidth=2.0),
+                        "microbench", 20, seed=1)
+    assert cache.load(changed) is None
+
+
+def test_code_version_change_invalidates(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    cell = make_cell(BASE, "microbench", 20, seed=1)
+    cache.store(cell, execute_cell(cell))
+    assert cache.load(cell) is not None
+    monkeypatch.setenv(cache_mod.CODE_VERSION_ENV, "edited-source-tree")
+    cache_mod.code_version.cache_clear()
+    assert cache.load(cell) is None
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = make_cell(BASE, "microbench", 20, seed=1)
+    path = cache.path_for(cell)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.load(cell) is None
+    # Storing over the corrupt entry repairs it.
+    cache.store(cell, execute_cell(cell))
+    assert cache.load(cell) is not None
+
+
+def test_unwritable_cache_degrades_instead_of_raising(tmp_path):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("")  # a *file* where the cache root should go
+    cache = ResultCache(blocker / "nested")
+    cell = make_cell(BASE, "microbench", 10, seed=1)
+    result = execute_cell(cell)
+    assert cache.store(cell, result) is None  # OSError swallowed
+    assert cache.store_errors == 1
+    assert cache.stores == 0
+    assert cache.load(cell) is None  # still just a miss
+
+
+def test_stale_generations_are_pruned(tmp_path, monkeypatch):
+    cell = make_cell(BASE, "microbench", 10, seed=1)
+    result = execute_cell(cell)
+    # Populate KEEP_GENERATIONS + 2 distinct code-version generations.
+    total = ResultCache.KEEP_GENERATIONS + 2
+    for n in range(total):
+        monkeypatch.setenv(cache_mod.CODE_VERSION_ENV, f"gen-{n}")
+        cache_mod.code_version.cache_clear()
+        ResultCache(tmp_path).store(cell, result)
+    generations = sorted(p.name for p in tmp_path.iterdir())
+    assert len(generations) == ResultCache.KEEP_GENERATIONS
+    assert f"v-gen-{total - 1}" in generations  # newest survives
+    assert "v-gen-0" not in generations         # oldest pruned
+    # The live generation still serves hits.
+    assert ResultCache(tmp_path).load(cell) is not None
+    cache_mod.code_version.cache_clear()
+
+
+def test_entry_file_is_self_describing(tmp_path):
+    cache = ResultCache(tmp_path)
+    cell = make_cell(BASE, "microbench", 20, seed=2, table_blocks=48)
+    cache.store(cell, execute_cell(cell))
+    entry = json.loads(cache.path_for(cell).read_text(encoding="utf-8"))
+    assert entry["cell"]["workload"] == "microbench"
+    assert entry["cell"]["seed"] == 2
+    assert entry["cell"]["config"]["num_cores"] == 4
+    assert entry["cell"]["config"]["seed"] == 2  # folded in by make_cell
+    assert ["table_blocks", 48] in entry["cell"]["workload_kwargs"]
+    assert entry["key"] == cache.path_for(cell).stem

@@ -132,6 +132,63 @@ def test_pending_counts_live_events():
     del keep
 
 
+def test_pending_tracks_schedule_cancel_and_run():
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    events[0].cancel()
+    events[0].cancel()  # double-cancel must not double-count
+    assert sim.pending() == 9
+    sim.run(until=5)
+    assert sim.pending() == 5  # events at t=6..10 still queued
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    event = sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run(until=1)
+    event.cancel()  # already ran; must not corrupt the live count
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancelled_event_compaction_shrinks_queue():
+    sim = Simulator()
+    threshold = Simulator.COMPACTION_MIN_CANCELLED
+    keep = [sim.schedule(10_000 + i, lambda: None) for i in range(8)]
+    timers = [sim.schedule(i + 1, lambda: None)
+              for i in range(4 * threshold)]
+    for timer in timers:
+        timer.cancel()
+    # Compaction bounds the heap: cancelled events can linger only while
+    # they are fewer than max(threshold, live events).
+    assert len(sim._queue) <= len(keep) + threshold
+    assert sim.pending() == len(keep)
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 0
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 4
+    order = []
+    for name, delay in (("a", 3), ("b", 7), ("c", 11)):
+        sim.schedule(delay, lambda n=name: order.append(n))
+    cancelled = [sim.schedule(5, lambda: order.append("X"))
+                 for _ in range(16)]
+    for event in cancelled:
+        event.cancel()
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
 def test_events_processed_counter():
     sim = Simulator()
     for _ in range(7):
