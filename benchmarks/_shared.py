@@ -24,7 +24,7 @@ when the disk cache is disabled or unwritable.  Consequences:
 * independent cells fan out across ``REPRO_JOBS`` worker processes
   (default: CPU count); parallel results are bit-identical to serial.
 
-Scale note (see DESIGN.md): the paper simulates 64-core full-system
+Scale note: the paper simulates 64-core full-system
 workloads for days; we run the same protocol configurations at reduced
 core counts / reference counts (pinned by ``repro.bench.FULL_SCALE``) so
 the whole suite regenerates in minutes.  The comparisons are within-run
@@ -42,6 +42,7 @@ from repro.bench import bandwidth_results as _bandwidth_results
 from repro.bench import encoding_results as _encoding_results
 from repro.bench import fig45_results as _fig45_results
 from repro.bench import scalability_results as _scalability_results
+from repro.bench import scenario_matrix_results as _scenario_matrix_results
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -94,3 +95,9 @@ def scalability_results():
 def encoding_results(num_cores: int, bounded: bool):
     """Runtime/traffic vs encoding coarseness (Figures 9 and 10)."""
     return _encoding_results(num_cores, bounded, FULL_SCALE)
+
+
+@functools.lru_cache(maxsize=None)
+def scenario_results():
+    """The sharing-pattern x topology grid (scenario matrix)."""
+    return _scenario_matrix_results(FULL_SCALE)

@@ -1,4 +1,4 @@
-"""Ablations beyond the paper's main grid (DESIGN.md Section 7).
+"""Ablations beyond the paper's main grid.
 
 These probe the design choices PATCH's Section 5.2 calls out:
 

@@ -28,7 +28,7 @@ def test_fig6_bandwidth_ocean(benchmark, capsys):
     assert series["PATCH-All-NA"][8.0] <= 1.02
     # Scarce bandwidth: the non-adaptive variant falls behind Directory.
     # (Our closed-loop single-outstanding-miss cores self-throttle, so the
-    # collapse is milder than the paper's ~1.4x — see EXPERIMENTS.md.)
+    # collapse is milder than the paper's ~1.4x.)
     assert series["PATCH-All-NA"][0.3] > 1.01
     # ... while best-effort PATCH-All keeps the do-no-harm guarantee
     # (small tolerance for simulation noise).

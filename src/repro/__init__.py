@@ -30,15 +30,20 @@ from repro.core.results import RunResult
 from repro.core.runner import (PAPER_CONFIGS, compare_configs,
                                normalized_runtimes, run_experiment,
                                run_matrix, run_one)
+from repro.core.sweeps import scenario_matrix, topology_sweep
 from repro.core.system import System
 from repro.exec import ParallelRunner, ResultCache
+from repro.interconnect.topology import make_topology, topology_names
 from repro.workloads.presets import WORKLOAD_NAMES, make_workload
+from repro.workloads.registry import workload_names, workload_specs
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PAPER_CONFIGS", "ParallelRunner", "ResultCache", "RunResult",
     "System", "SystemConfig", "WORKLOAD_NAMES", "__version__",
-    "compare_configs", "make_workload", "model", "normalized_runtimes",
-    "run_experiment", "run_matrix", "run_one", "torus_dims_for",
+    "compare_configs", "make_topology", "make_workload", "model",
+    "normalized_runtimes", "run_experiment", "run_matrix", "run_one",
+    "scenario_matrix", "topology_names", "topology_sweep",
+    "torus_dims_for", "workload_names", "workload_specs",
 ]

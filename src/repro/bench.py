@@ -1,9 +1,11 @@
 """The figure suite as a library: bundles, renderers, and ``repro bench``.
 
 One module owns the scaled-down experiment grids behind every figure of
-the paper's evaluation (Section 8) so that the pytest benchmark suite
-(``benchmarks/``) and the ``repro bench`` CLI subcommand produce
-byte-identical tables from the same code:
+the paper's evaluation (Section 8) — plus the cross-scenario ablation
+matrix (sharing pattern x interconnect topology) that goes beyond the
+paper — so that the pytest benchmark suite (``benchmarks/``) and the
+``repro bench`` CLI subcommand produce byte-identical tables from the
+same code:
 
 * :class:`BenchScale` pins the grid sizes; :data:`FULL_SCALE` matches
   the benchmark suite, :data:`QUICK_SCALE` is the CI smoke-test size.
@@ -30,10 +32,12 @@ from repro.config import SystemConfig
 from repro.core.runner import (PAPER_CONFIGS, normalized_runtimes,
                                normalized_traffic, run_matrix)
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
-                               encoding_sweep, scalability_sweep)
+                               encoding_sweep, scalability_sweep,
+                               scenario_matrix)
 from repro.exec import ParallelRunner, get_default_runner
 from repro.stats.counters import geometric_mean
 from repro.stats.traffic import FIGURE5_ORDER
+from repro.workloads.patterns import PATTERN_NAMES
 
 #: Figure-10 message groups, in the paper's plotting order.
 FIG10_GROUPS = ("Data", "Ack", "Ind. Req.", "Forward")
@@ -75,6 +79,13 @@ class BenchScale:
     enc_core_counts: Tuple[int, ...]
     enc_refs: Mapping[int, int]
     enc_table_blocks: Mapping[int, int]
+    # Scenario matrix: sharing patterns x interconnect topologies.
+    scenario_workloads: Tuple[str, ...] = PATTERN_NAMES
+    scenario_topologies: Tuple[str, ...] = ("torus", "mesh",
+                                            "fully-connected")
+    scenario_cores: int = 16
+    scenario_refs: int = 80
+    scenario_seeds: Tuple[int, ...] = (1, 2)
 
 
 #: The benchmark suite's scale (regenerates the committed tables).
@@ -105,6 +116,7 @@ QUICK_SCALE = BenchScale(
     enc_core_counts=(16, 32),
     enc_refs={16: 80, 32: 40},
     enc_table_blocks={16: 96, 32: 192},
+    scenario_cores=8, scenario_refs=40, scenario_seeds=(1,),
 )
 
 
@@ -145,6 +157,16 @@ def scalability_results(scale: BenchScale = FULL_SCALE,
         workload_kwargs_for=lambda cores: {
             "table_blocks": min(16 * 1024, 24 * cores)},
         runner=runner)
+
+
+def scenario_matrix_results(scale: BenchScale = FULL_SCALE,
+                            runner: Optional[ParallelRunner] = None):
+    """The sharing-pattern x topology ablation grid (scenario matrix)."""
+    base = SystemConfig(num_cores=scale.scenario_cores)
+    return scenario_matrix(base, scale.scenario_workloads,
+                           scale.scenario_topologies,
+                           references_per_core=scale.scenario_refs,
+                           seeds=scale.scenario_seeds, runner=runner)
 
 
 def encoding_results(num_cores: int, bounded: bool,
@@ -312,6 +334,51 @@ def render_fig10(data, core_counts: Sequence[int]):
     return text, growth, ack_share
 
 
+def render_scenarios(results, workloads: Sequence[str],
+                     topologies: Sequence[str]):
+    """Scenario-matrix tables + the PATCH/Directory ratio per cell.
+
+    ``results`` is :func:`~repro.core.sweeps.scenario_matrix` output.
+    Section one: PATCH-All runtime normalized to Directory on the same
+    (workload, topology) — the paper's headline metric per scenario.
+    Section two: Directory runtime per topology normalized to its torus
+    run — how much the fabric alone costs each scenario.
+    """
+    ratio = {}
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for topology in topologies:
+            per = results[workload][topology]
+            value = (per["PATCH-All"].runtime_mean
+                     / per["Directory"].runtime_mean)
+            ratio[(workload, topology)] = value
+            row.append(f"{value:.3f}")
+        rows.append(row)
+    patch_table = format_table(
+        "Scenario matrix: PATCH-All runtime / Directory runtime "
+        "(lower favors PATCH)",
+        ["workload"] + list(topologies), rows)
+
+    fabric = {}
+    rows = []
+    baseline_topo = topologies[0]
+    for workload in workloads:
+        base = results[workload][baseline_topo]["Directory"].runtime_mean
+        row = [workload]
+        for topology in topologies:
+            value = (results[workload][topology]["Directory"].runtime_mean
+                     / base)
+            fabric[(workload, topology)] = value
+            row.append(f"{value:.3f}")
+        rows.append(row)
+    fabric_table = format_table(
+        f"Scenario matrix: Directory runtime normalized to "
+        f"{baseline_topo} (fabric cost per scenario)",
+        ["workload"] + list(topologies), rows)
+    return patch_table + "\n\n" + fabric_table, ratio, fabric
+
+
 # ---------------------------------------------------------------------------
 # `repro bench` driver
 # ---------------------------------------------------------------------------
@@ -401,6 +468,12 @@ def run_bench(quick: bool = False,
                     for cores in scale.enc_core_counts}
     text, _, _ = render_fig10(bounded_data, scale.enc_core_counts)
     emit("fig10_inexact_traffic", text, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    scenarios = scenario_matrix_results(scale, runner)
+    text, _, _ = render_scenarios(scenarios, scale.scenario_workloads,
+                                  scale.scenario_topologies)
+    emit("scenario_matrix", text, time.perf_counter() - start)
 
     total = time.perf_counter() - suite_start
     headline = headline_check(geo)

@@ -6,19 +6,24 @@ regenerates the paper's experiments from the shell:
 .. code-block:: console
 
     repro run --protocol patch --predictor all --workload oltp
+    repro run --workload migratory --topology mesh
     repro fig4 --cores 16 --refs 100
     repro fig6 --workload ocean
     repro fig8
     repro fig9 --cores 64
+    repro scenarios --cores 8 --refs 40
     repro bench --quick --jobs 4
     repro list
+    repro list-scenarios
 
 The figure subcommands print the same tables the benchmark suite
-produces (the benchmarks additionally assert the paper's claims), and
-``repro bench`` regenerates the whole figure suite with machine-readable
-timings.  Experiment subcommands accept ``--jobs`` (process-pool width,
-default ``REPRO_JOBS`` or the CPU count), ``--no-cache``, and
-``--cache-dir`` (default ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+produces (the benchmarks additionally assert the paper's claims),
+``repro scenarios`` prints the sharing-pattern x topology ablation
+matrix, and ``repro bench`` regenerates the whole figure suite with
+machine-readable timings.  Experiment subcommands accept ``--jobs``
+(process-pool width, default ``REPRO_JOBS`` or the CPU count),
+``--no-cache``, and ``--cache-dir`` (default ``REPRO_CACHE_DIR`` or
+``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -30,15 +35,19 @@ from typing import List, Optional
 
 from repro.analysis import bar_chart, format_table
 from repro.bench import (render_bandwidth, render_fig4, render_fig5,
-                         render_fig8, run_bench)
+                         render_fig8, render_scenarios, run_bench)
 from repro.config import PREDICTORS, PROTOCOLS, SystemConfig
 from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
                                run_experiment, run_matrix)
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
-                               encoding_sweep, scalability_sweep)
+                               encoding_sweep, scalability_sweep,
+                               scenario_matrix)
 from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
                         set_default_runner)
+from repro.interconnect.topology import TOPOLOGIES, topology_names
+from repro.workloads.patterns import PATTERN_NAMES
 from repro.workloads.presets import WORKLOAD_NAMES
+from repro.workloads.registry import workload_specs
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -98,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_options(run)
     run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
     run.add_argument("--predictor", default="all", choices=PREDICTORS)
+    run.add_argument("--topology", default="torus",
+                     choices=topology_names(),
+                     help="interconnect fabric (default torus)")
     run.add_argument("--bandwidth", type=float, default=16.0,
                      help="link bandwidth in bytes/cycle")
     run.add_argument("--coarseness", type=int, default=1,
@@ -109,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
                                        "across protocol configurations")
     _add_common(fig4)
     _add_exec_options(fig4)
-    fig4.add_argument("--workloads", nargs="*",
+    fig4.add_argument("--workloads", nargs="+",
                       default=["jbb", "oltp", "apache", "barnes", "ocean"])
 
     fig6 = sub.add_parser("fig6", help="Figure 6/7: bandwidth adaptivity")
@@ -126,6 +138,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig9.add_argument("--refs", type=int, default=20)
     fig9.add_argument("--bandwidth", type=float, default=2.0)
     fig9.add_argument("--seed", type=int, default=1)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="cross-scenario ablation: sharing patterns x "
+                          "interconnect topologies")
+    _add_exec_options(scenarios)
+    scenarios.add_argument("--cores", type=int, default=8,
+                           help="number of cores (default 8)")
+    scenarios.add_argument("--refs", type=int, default=40,
+                           help="references per core (default 40)")
+    scenarios.add_argument("--seed", type=int, default=1)
+    scenarios.add_argument("--workloads", nargs="+",
+                           default=list(PATTERN_NAMES),
+                           choices=sorted(WORKLOAD_NAMES),
+                           help="workloads to cross against topologies")
+    scenarios.add_argument("--topologies", nargs="+",
+                           default=list(TOPOLOGIES),
+                           choices=topology_names(),
+                           help="interconnect fabrics to compare (the "
+                                "first is the normalization baseline)")
 
     bench = sub.add_parser(
         "bench", help="regenerate the full figure suite with timings")
@@ -144,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "regressed")
 
     sub.add_parser("list", help="list workloads and configurations")
+    sub.add_parser("list-scenarios",
+                   help="list every registered workload generator and "
+                        "interconnect topology")
     return parser
 
 
@@ -155,6 +189,7 @@ def cmd_run(args) -> int:
     config = SystemConfig(num_cores=args.cores, protocol=args.protocol,
                           predictor=(args.predictor
                                      if args.protocol == "patch" else "none"),
+                          topology=args.topology,
                           link_bandwidth=args.bandwidth,
                           encoding_coarseness=args.coarseness,
                           best_effort_direct=not args.non_adaptive)
@@ -233,6 +268,16 @@ def cmd_fig9(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    base = SystemConfig(num_cores=args.cores)
+    results = scenario_matrix(base, args.workloads, args.topologies,
+                              references_per_core=args.refs,
+                              seeds=(args.seed,))
+    text, _, _ = render_scenarios(results, args.workloads, args.topologies)
+    print(text)
+    return 0
+
+
 def cmd_bench(args) -> int:
     return run_bench(quick=args.quick, results_dir=args.results_dir,
                      out_path=args.out, check=args.check)
@@ -251,14 +296,28 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_list_scenarios(args) -> int:
+    print("Workload generators (repro run --workload NAME):")
+    for spec in workload_specs():
+        print(f"  {spec.name:20} [{spec.kind:7}] {spec.description}")
+    print("\nInterconnect topologies (repro run --topology NAME):")
+    for spec in TOPOLOGIES.values():
+        print(f"  {spec.name:20} {spec.description}")
+    print("\nCross them with: repro scenarios "
+          "[--workloads ...] [--topologies ...]")
+    return 0
+
+
 COMMANDS = {
     "run": cmd_run,
     "fig4": cmd_fig4,
     "fig6": cmd_fig6,
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
+    "scenarios": cmd_scenarios,
     "bench": cmd_bench,
     "list": cmd_list,
+    "list-scenarios": cmd_list_scenarios,
 }
 
 

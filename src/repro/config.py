@@ -3,7 +3,9 @@
 Defaults follow Section 8.1 of the paper: 64-byte blocks, 4-way private
 caches, 12-cycle private cache, 16-cycle directory lookup, 80-cycle DRAM,
 2D torus with ~15-cycle end-to-end link latency and 16 bytes/cycle links,
-best-effort direct requests dropped after queueing 100 cycles.
+best-effort direct requests dropped after queueing 100 cycles.  The
+``topology`` field selects an alternative interconnect fabric (``mesh``,
+``fully-connected``) from :mod:`repro.interconnect.topology`'s registry.
 """
 
 from __future__ import annotations
@@ -44,7 +46,8 @@ class SystemConfig:
 
     # --- topology / cores -------------------------------------------------
     num_cores: int = 16
-    torus_dims: Optional[Tuple[int, int]] = None  # derived if None
+    topology: str = "torus"              # torus | mesh | fully-connected
+    torus_dims: Optional[Tuple[int, int]] = None  # grid shape, derived if None
 
     # --- protocol selection ----------------------------------------------
     protocol: str = "directory"          # directory | patch | tokenb
@@ -88,10 +91,16 @@ class SystemConfig:
     seed: int = 1
 
     def __post_init__(self) -> None:
+        # Imported here so the frozen config stays importable before the
+        # interconnect package (which registers the topologies) loads.
+        from repro.interconnect.topology import TOPOLOGIES
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.predictor not in PREDICTORS:
             raise ValueError(f"unknown predictor {self.predictor!r}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}; "
+                             f"choose from {tuple(sorted(TOPOLOGIES))}")
         if self.num_cores < 1:
             raise ValueError("num_cores must be positive")
         if self.encoding_coarseness < 1 or self.encoding_coarseness > self.num_cores:
@@ -122,9 +131,10 @@ class SystemConfig:
     @property
     def hop_latency(self) -> int:
         """Per-hop link latency so an average traversal costs
-        approximately ``total_link_latency`` cycles."""
-        dx, dy = self.torus_dims
-        avg_hops = max(1.0, dx / 4.0 + dy / 4.0)
+        approximately ``total_link_latency`` cycles on the selected
+        topology (fewer expected hops => a slower individual hop)."""
+        from repro.interconnect.topology import mean_hops_estimate
+        avg_hops = mean_hops_estimate(self.topology, self.torus_dims)
         return max(1, round(self.total_link_latency / avg_hops))
 
     def with_updates(self, **kwargs) -> "SystemConfig":
@@ -137,5 +147,6 @@ class SystemConfig:
         be = "" if self.best_effort_direct else "-NA"
         enc = (f" enc=1:{self.encoding_coarseness}"
                if self.encoding_coarseness > 1 else "")
+        topo = f" topo={self.topology}" if self.topology != "torus" else ""
         return (f"{self.protocol}{pred}{be} cores={self.num_cores} "
-                f"bw={self.link_bandwidth}B/cyc{enc}")
+                f"bw={self.link_bandwidth}B/cyc{enc}{topo}")

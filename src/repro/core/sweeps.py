@@ -1,4 +1,5 @@
-"""Parameter sweeps behind Figures 6-10.
+"""Parameter sweeps behind Figures 6-10, plus the scenario-engine grids
+(topology sweep and the workload x topology scenario matrix).
 
 Each sweep returns plain dict structures so benchmarks, examples, and the
 CLI can all print the same series the paper plots.
@@ -94,6 +95,71 @@ def scalability_sweep(base_config: SystemConfig,
     return {cores: {label: ExperimentResult(label, grouped[(cores, label)])
                     for label in variants}
             for cores in core_counts}
+
+
+def topology_sweep(base_config: SystemConfig, workload_name: str,
+                   references_per_core: int,
+                   topologies: Sequence[str] = ("torus", "mesh",
+                                                "fully-connected"),
+                   seeds: Sequence[int] = (1,),
+                   variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                   runner: Optional[ParallelRunner] = None,
+                   ) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Runtime of each variant across interconnect fabrics.
+
+    Shows how much of each protocol's behaviour is routing/congestion
+    (changes with the fabric) versus protocol structure (does not).
+    """
+    cells, slots = [], []
+    for topology in topologies:
+        for label, overrides in variants.items():
+            config = base_config.with_updates(topology=topology, **overrides)
+            for seed in seeds:
+                cells.append(make_cell(config, workload_name,
+                                       references_per_core, seed))
+                slots.append((topology, label))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {topology: {label: ExperimentResult(f"{label}@{topology}",
+                                               grouped[(topology, label)])
+                       for label in variants}
+            for topology in topologies}
+
+
+def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
+                    topologies: Sequence[str],
+                    references_per_core: int,
+                    seeds: Sequence[int] = (1,),
+                    variants: Optional[Dict[str, dict]] = None,
+                    runner: Optional[ParallelRunner] = None,
+                    ) -> Dict[str, Dict[str, Dict[str, ExperimentResult]]]:
+    """The cross-scenario grid: workload x topology x variant, one batch.
+
+    Returns ``{workload: {topology: {label: ExperimentResult}}}``.  This
+    is the engine behind ``repro scenarios`` and the bench suite's
+    scenario-matrix table; the whole grid is submitted as one batch so
+    the parallel runner overlaps every cell and each (workload,
+    topology, variant, seed) point is cached independently.
+    """
+    if variants is None:
+        variants = {"Directory": {"protocol": "directory"},
+                    "PATCH-All": {"protocol": "patch", "predictor": "all"}}
+    cells, slots = [], []
+    for workload in workloads:
+        for topology in topologies:
+            for label, overrides in variants.items():
+                config = base_config.with_updates(topology=topology,
+                                                  **overrides)
+                for seed in seeds:
+                    cells.append(make_cell(config, workload,
+                                           references_per_core, seed))
+                    slots.append((workload, topology, label))
+    grouped = run_grouped_cells(cells, slots, runner)
+    return {workload: {topology: {label: ExperimentResult(
+                           f"{label}[{workload}@{topology}]",
+                           grouped[(workload, topology, label)])
+                       for label in variants}
+                       for topology in topologies}
+            for workload in workloads}
 
 
 def encoding_sweep(base_config: SystemConfig, num_cores: int,

@@ -22,8 +22,8 @@ from repro.coherence.messages import MsgType
 from repro.cpu.core import Core
 from repro.interconnect.message import Message
 from repro.interconnect.network import (NetworkInterface, RandomDelayNetwork,
-                                        TorusNetwork)
-from repro.interconnect.topology import Torus2D
+                                        SwitchedNetwork)
+from repro.interconnect.topology import make_topology
 from repro.prediction.predictors import make_predictor
 from repro.protocols.directory.cache_ctrl import DirectoryCache
 from repro.protocols.directory.home_ctrl import DirectoryHome
@@ -63,8 +63,9 @@ class System:
         self.audit_tokens = audit_tokens and config.protocol != "directory"
 
         if network is None:
-            topology = Torus2D(*config.torus_dims)
-            network = TorusNetwork(
+            topology = make_topology(config.topology, config.num_cores,
+                                     config.torus_dims)
+            network = SwitchedNetwork(
                 self.sim, topology, bandwidth=config.link_bandwidth,
                 hop_latency=config.hop_latency,
                 drop_age=config.direct_request_drop_age)

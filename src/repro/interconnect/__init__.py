@@ -1,12 +1,17 @@
-"""Interconnect: messages, 2D-torus topology, event-driven link models."""
+"""Interconnect: messages, pluggable topologies, event-driven link models."""
 
 from repro.interconnect.message import Message, Priority
 from repro.interconnect.network import (LOCAL_DELIVERY_LATENCY,
                                         NetworkInterface, RandomDelayNetwork,
-                                        TorusNetwork)
-from repro.interconnect.topology import Torus2D
+                                        SwitchedNetwork, TorusNetwork)
+from repro.interconnect.topology import (TOPOLOGIES, FullyConnected, Mesh2D,
+                                         Topology, TopologySpec, Torus2D,
+                                         make_topology, mean_hops_estimate,
+                                         topology_names)
 
 __all__ = [
     "LOCAL_DELIVERY_LATENCY", "Message", "NetworkInterface", "Priority",
-    "RandomDelayNetwork", "Torus2D", "TorusNetwork",
+    "RandomDelayNetwork", "SwitchedNetwork", "TOPOLOGIES", "Topology",
+    "TopologySpec", "Torus2D", "TorusNetwork", "FullyConnected", "Mesh2D",
+    "make_topology", "mean_hops_estimate", "topology_names",
 ]

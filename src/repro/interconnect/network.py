@@ -1,12 +1,15 @@
 """Event-driven interconnect models.
 
-:class:`TorusNetwork` is the detailed model used for all paper experiments:
-every directed link is a bandwidth server with two priority FIFOs.  Normal
-traffic is always served first; best-effort messages (PATCH's direct
-requests) are served only when no normal message is waiting, and are
-*dropped* if they have been queued longer than the configured drop age —
-implementing the paper's "deprioritize and discard if stale" policy that
-gives PATCH its do-no-harm guarantee.
+:class:`SwitchedNetwork` is the detailed model used for all paper
+experiments: every directed link of the configured topology (torus,
+mesh, fully-connected — see :mod:`repro.interconnect.topology`) is a
+bandwidth server with two priority FIFOs.  Normal traffic is always
+served first; best-effort messages (PATCH's direct requests) are served
+only when no normal message is waiting, and are *dropped* if they have
+been queued longer than the configured drop age — implementing the
+paper's "deprioritize and discard if stale" policy that gives PATCH its
+do-no-harm guarantee.  ``TorusNetwork`` is a backward-compatible alias
+from when the 2D torus was the only fabric.
 
 :class:`RandomDelayNetwork` is an adversarial model for correctness tests:
 it delivers messages with random, unordered delays and can drop best-effort
@@ -22,7 +25,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.interconnect.message import Message, Priority
-from repro.interconnect.topology import Torus2D
+from repro.interconnect.topology import Topology
 from repro.sim.kernel import Simulator
 from repro.stats.traffic import TrafficMeter
 
@@ -84,7 +87,7 @@ class _LinkServer:
     __slots__ = ("network", "src", "dst", "normal", "best_effort",
                  "busy_until", "_active", "busy_cycles")
 
-    def __init__(self, network: "TorusNetwork", src: int, dst: int) -> None:
+    def __init__(self, network: "SwitchedNetwork", src: int, dst: int) -> None:
         self.network = network
         self.src = src
         self.dst = dst
@@ -139,10 +142,17 @@ class _LinkServer:
         return None
 
 
-class TorusNetwork(NetworkInterface):
-    """The detailed 2D-torus interconnect model."""
+class SwitchedNetwork(NetworkInterface):
+    """The detailed link-level interconnect model over any topology.
 
-    def __init__(self, sim: Simulator, topology: Torus2D,
+    Works against the :class:`~repro.interconnect.topology.Topology`
+    routing protocol only (``links`` / ``next_hop`` /
+    ``multicast_tree``), so the same bandwidth, priority, and stale-drop
+    machinery serves the torus, the mesh, and the fully-connected
+    fabric unchanged.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
                  bandwidth: float, hop_latency: int,
                  drop_age: Optional[int] = 100) -> None:
         if bandwidth <= 0:
@@ -223,6 +233,10 @@ class TorusNetwork(NetworkInterface):
             return 0.0
         total = sum(link.busy_cycles for link in self._links.values())
         return total / (len(self._links) * self.sim.now)
+
+
+#: Backward-compatible alias (the torus was originally the only fabric).
+TorusNetwork = SwitchedNetwork
 
 
 class RandomDelayNetwork(NetworkInterface):

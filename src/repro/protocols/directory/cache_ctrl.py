@@ -25,7 +25,13 @@ from repro.protocols.base import CacheControllerBase, Mshr, ProtocolError
 
 @dataclass
 class WbEntry:
-    """A block between eviction and writeback acknowledgement."""
+    """A block between eviction and writeback acknowledgement.
+
+    DIRECTORY's non-silent evictions (E/F/O/M send PUT and await
+    WB_ACK, Section 5.1) leave the block in this transient holding so
+    a forwarded request racing the writeback can still be answered
+    with the departing data.
+    """
 
     block: int
     dirty: bool
@@ -35,7 +41,15 @@ class WbEntry:
 
 
 class DirectoryCache(CacheControllerBase):
-    """Cache controller for the DIRECTORY protocol."""
+    """Cache controller for the DIRECTORY protocol (paper Section 5.1).
+
+    The paper's baseline: a GEMS-style blocking MOESI+F controller in
+    which every miss indirects through the block's home and completes
+    by acknowledgement counting (the data response names how many
+    invalidation acks to await).  This is the protocol whose three-hop
+    sharing misses PATCH's direct requests exist to shortcut, and whose
+    directory state PATCH reuses verbatim for token tenure.
+    """
 
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)

@@ -25,7 +25,14 @@ from repro.protocols.base import HomeControllerBase, ProtocolError
 
 @dataclass
 class DirEntry:
-    """Directory entry: exact owner + encoded sharers + migratory state."""
+    """Directory entry: exact owner + encoded sharers + migratory state.
+
+    The per-block state of Section 5.1's directory: the owner is always
+    exact, the sharer set goes through the configured
+    :mod:`repro.directory_state.encodings` encoding (full map down to a
+    single bit, Section 7's inexactness experiments), and the migratory
+    bits drive the migratory-sharing optimization.
+    """
 
     sharers: SharerEncoding
     owner: Optional[int] = None          # None => memory owns the block
@@ -36,7 +43,16 @@ class DirEntry:
 
 
 class DirectoryHome(HomeControllerBase):
-    """Home controller for the DIRECTORY protocol."""
+    """Home controller for the DIRECTORY protocol (paper Section 5.1).
+
+    One slice of the distributed directory: it serializes requests per
+    block (busy bit + FIFO, no NACKs), tracks the exact owner and the
+    (possibly coarsely encoded, Section 7) sharer set, forwards
+    requests to the owner, and multicasts invalidations that are
+    acknowledged directly to the requester.  Also hosts the
+    migratory-sharing optimization, which detects read-then-write by
+    the same core and converts migratory reads to exclusive transfers.
+    """
 
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)

@@ -29,7 +29,17 @@ from repro.protocols.patch.tenure import IgnoreWindows, ProbationTimers
 
 
 class PatchCache(CacheControllerBase):
-    """Cache controller for the PATCH protocol."""
+    """Cache controller for PATCH, the paper's contribution (Section 5).
+
+    Token counting grafted onto the DIRECTORY request flow: every miss
+    still indirects through the home (so the directory stays exact),
+    but a destination-set predictor may add *best-effort direct
+    requests* that fetch data cache-to-cache in two hops when they
+    land.  Completion is by token counting (read: data + >= 1 token;
+    write: all T tokens), and the token-tenure discipline (Table 3)
+    holds untenured tokens on a probation timer so dropped or stray
+    direct requests can never break the directory's invariants.
+    """
 
     def __init__(self, node_id, sim, network, config, predictor) -> None:
         super().__init__(node_id, sim, network, config)

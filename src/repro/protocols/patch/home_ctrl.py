@@ -34,7 +34,13 @@ from repro.protocols.base import HomeControllerBase, ProtocolError
 
 @dataclass
 class PatchDirEntry:
-    """Directory entry plus memory's token holding for the block."""
+    """Directory entry plus memory's token holding for the block.
+
+    PATCH reuses DIRECTORY's entry unchanged (owner + encoded sharers)
+    and only adds the token count memory holds — Table 2's observation
+    that the directory protocol's state already encodes everything
+    token counting needs at the home.
+    """
 
     sharers: SharerEncoding
     tokens: TokenCount                  # held by this memory module
@@ -45,7 +51,17 @@ class PatchDirEntry:
 
 
 class PatchHome(HomeControllerBase):
-    """Home controller for the PATCH protocol."""
+    """Home controller for PATCH: the token-tenure arbiter (Table 3).
+
+    Keeps DIRECTORY's per-block serialization and directory entry, adds
+    a token holding for memory, and implements the home-side tenure
+    rules: activate one requester at a time with an explicit ACTIVATION
+    (Rule #1a), forward activated requests to a superset of tenured
+    token holders (Rule #1b), and redirect tokens discarded on tenure
+    timeout or eviction to the active requester (Rule #5).  Because
+    completion is token counting, no ack counting is ever needed —
+    the property that lets PATCH scale under inexact sharer encodings.
+    """
 
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)

@@ -25,7 +25,16 @@ from repro.protocols.base import CacheControllerBase, Mshr, ProtocolError
 
 
 class TokenBCache(CacheControllerBase):
-    """Cache controller for broadcast token coherence."""
+    """Cache controller for broadcast token coherence (TokenB, Section 2).
+
+    The paper's token-counting baseline (Martin et al.): every miss
+    broadcasts a transient request to all nodes, token counting alone
+    guarantees safety on the unordered interconnect, and forward
+    progress escalates from timed reissues to home-arbitrated
+    persistent requests.  Its per-miss broadcast is what limits
+    scalability — the cost PATCH avoids by looking the destination set
+    up in the directory instead.
+    """
 
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)

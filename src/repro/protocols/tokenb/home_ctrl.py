@@ -16,7 +16,14 @@ from repro.protocols.base import HomeControllerBase, Node, ProtocolError
 
 
 class TokenBHome(Node):
-    """Memory + persistent-request arbiter for one home slice."""
+    """TokenB home slice: token-holding memory + persistent arbiter.
+
+    TokenB keeps no directory state (Table 4: "State at home: tokens").
+    The home is only the memory module — which holds and hands out
+    tokens like any cache — plus the per-block arbiter that serializes
+    persistent requests when a starving requester escalates, the
+    centralized piece of TokenB's forward-progress story.
+    """
 
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)

@@ -1,11 +1,30 @@
-"""Workload generators: synthetic sharing patterns + the microbenchmark."""
+"""Workload generators: benchmark presets, sharing patterns, microbench.
+
+All generators register by name in :mod:`repro.workloads.registry`;
+``make_workload(name, num_cores, seed)`` builds any of them, and
+``workload_specs()`` is the scenario catalog the CLI's
+``list-scenarios`` prints.
+"""
 
 from repro.workloads.base import Access, WorkloadGenerator
 from repro.workloads.micro import MicrobenchWorkload
+from repro.workloads.patterns import (PATTERN_NAMES, FalseSharingWorkload,
+                                      HotHomeWorkload,
+                                      LockContentionWorkload,
+                                      MigratoryWorkload,
+                                      ProducerConsumerWorkload)
 from repro.workloads.presets import PRESETS, WORKLOAD_NAMES, make_workload
+from repro.workloads.registry import (WorkloadSpec, get_spec,
+                                      register_factory, register_workload,
+                                      workload_names, workload_specs)
 from repro.workloads.synthetic import (SharingMix, SyntheticParams,
                                        SyntheticWorkload)
 
-__all__ = ["Access", "MicrobenchWorkload", "PRESETS", "SharingMix",
-           "SyntheticParams", "SyntheticWorkload", "WORKLOAD_NAMES",
-           "WorkloadGenerator", "make_workload"]
+__all__ = ["Access", "FalseSharingWorkload", "HotHomeWorkload",
+           "LockContentionWorkload", "MicrobenchWorkload",
+           "MigratoryWorkload", "PATTERN_NAMES", "PRESETS",
+           "ProducerConsumerWorkload",
+           "SharingMix", "SyntheticParams", "SyntheticWorkload",
+           "WORKLOAD_NAMES", "WorkloadGenerator", "WorkloadSpec",
+           "get_spec", "make_workload", "register_factory",
+           "register_workload", "workload_names", "workload_specs"]

@@ -7,7 +7,13 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class Access:
-    """One memory reference issued by a core."""
+    """One memory reference issued by a core.
+
+    The paper's "simple single-issue cores" (Section 8.1) expose
+    exactly this much to the memory system: a block address, whether
+    the reference needs write permission, and how many cycles the core
+    computes (``think_time``) before issuing its next reference.
+    """
 
     block: int
     is_write: bool
@@ -15,10 +21,17 @@ class Access:
 
 
 class WorkloadGenerator:
-    """Produces the per-core reference stream.
+    """Produces the per-core reference stream the simulated cores run.
 
-    Implementations must be deterministic for a given seed: the same
-    sequence of ``next_access`` calls yields the same accesses.
+    This is the substitute for the paper's full-system Simics/GEMS
+    workloads: coherence protocols only observe the reference stream,
+    so a generator that reproduces an application's sharing pattern
+    reproduces its protocol-level behaviour.  Implementations must be
+    deterministic for a given seed — the same sequence of
+    ``next_access`` calls yields the same accesses — which is what
+    makes experiment cells cacheable and parallel runs bit-identical
+    to serial ones.  Concrete generators register themselves by name in
+    :mod:`repro.workloads.registry`.
     """
 
     def next_access(self, core_id: int) -> Access:

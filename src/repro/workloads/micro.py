@@ -10,10 +10,23 @@ from __future__ import annotations
 import random
 
 from repro.workloads.base import Access, WorkloadGenerator
+from repro.workloads.registry import register_workload
 
 
+@register_workload(
+    "microbench",
+    "the paper's Section 8.1 scalability microbenchmark (70/30 r/w table)",
+    kind="micro")
 class MicrobenchWorkload(WorkloadGenerator):
-    """Uniform random reads (70%) / writes (30%) over a shared table."""
+    """The paper's scalability microbenchmark (Section 8.1).
+
+    Every core reads (70%) or writes (30%) a uniformly random entry of
+    one shared fixed-size table, producing the uniform sharing-miss
+    stream behind Figure 8's core-count sweep and the inexact-encoding
+    experiments of Figures 9/10.  ``table_blocks`` scales the table
+    (the paper uses 16k locations; the scaled-down suites shrink it to
+    keep block reuse constant at reduced reference counts).
+    """
 
     def __init__(self, num_cores: int, seed: int = 1,
                  table_blocks: int = 16 * 1024,

@@ -15,15 +15,17 @@ reports for that benchmark:
   working set: capacity misses dominate, so direct requests help least.
 
 The absolute numbers produced here are not SPLASH/TPC numbers — they are
-synthetic equivalents preserving the sharing structure (see DESIGN.md).
+synthetic equivalents preserving the sharing structure (see
+docs/ARCHITECTURE.md, "workloads").
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.workloads import registry
 from repro.workloads.base import WorkloadGenerator
-from repro.workloads.micro import MicrobenchWorkload
+from repro.workloads.micro import MicrobenchWorkload  # noqa: F401 (registers)
 from repro.workloads.synthetic import (SharingMix, SyntheticParams,
                                        SyntheticWorkload)
 
@@ -75,16 +77,29 @@ PRESETS: Dict[str, SyntheticParams] = {
     ),
 }
 
-WORKLOAD_NAMES = tuple(sorted(PRESETS)) + ("microbench",)
+_PRESET_BLURBS = {
+    "oltp": "lock-dominated commercial mix: migratory-heavy, small sets",
+    "apache": "web serving: locks plus producer/consumer buffers",
+    "jbb": "middleware: mostly private objects, moderate sharing",
+    "barnes": "n-body tree: read-mostly nodes plus migratory bodies",
+    "ocean": "grid stencil: capacity misses dominate, light sharing",
+}
+
+for _name, _params in PRESETS.items():
+    def _make_preset(num_cores: int, seed: int = 1,
+                     _params: SyntheticParams = _params,
+                     **overrides) -> SyntheticWorkload:
+        return SyntheticWorkload(num_cores, _params, seed=seed, **overrides)
+    registry.register_factory(_name, _make_preset, _PRESET_BLURBS[_name],
+                              kind="preset")
+
+#: Every registered workload name (kept for backward compatibility; the
+#: registry is the source of truth).
+WORKLOAD_NAMES = registry.workload_names()
 
 
 def make_workload(name: str, num_cores: int, seed: int = 1,
                   **overrides) -> WorkloadGenerator:
-    """Build a workload by name (preset benchmarks or ``microbench``)."""
-    if name == "microbench":
-        return MicrobenchWorkload(num_cores=num_cores, seed=seed, **overrides)
-    if name not in PRESETS:
-        raise ValueError(
-            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
-    params = PRESETS[name]
-    return SyntheticWorkload(num_cores, params, seed=seed, **overrides)
+    """Build any registered workload by name (see
+    :mod:`repro.workloads.registry`)."""
+    return registry.make_workload(name, num_cores, seed=seed, **overrides)

@@ -31,7 +31,14 @@ CATEGORIES = ("private", "migratory", "producer_consumer", "read_mostly")
 
 @dataclass(frozen=True)
 class SharingMix:
-    """Weights (relative, not necessarily normalized) per category."""
+    """Relative weights of the four sharing categories in one stream.
+
+    The categories are the classic sharing-pattern taxonomy the paper's
+    workloads decompose into (private, migratory, producer-consumer,
+    read-mostly); the migratory weight in particular controls the
+    sharing-miss fraction that determines how much direct requests can
+    help.  Weights are relative and need not sum to one.
+    """
 
     private: float = 0.5
     migratory: float = 0.2
@@ -49,7 +56,14 @@ class SharingMix:
 
 @dataclass(frozen=True)
 class SyntheticParams:
-    """Knobs for the synthetic generator."""
+    """Knobs for the synthetic generator.
+
+    Region sizes set the working set relative to cache capacity (and so
+    the capacity-miss rate the paper's ocean preset is dominated by);
+    write fractions and think times shape the per-category reference
+    streams.  Presets in :mod:`repro.workloads.presets` pin these per
+    emulated benchmark.
+    """
 
     mix: SharingMix = SharingMix()
     private_blocks_per_core: int = 512   # vs cache capacity => miss ratio
@@ -63,7 +77,18 @@ class SyntheticParams:
 
 
 class SyntheticWorkload(WorkloadGenerator):
-    """Deterministic per-seed synthetic reference stream."""
+    """Deterministic per-seed synthetic reference stream.
+
+    Substitutes for the paper's SPLASH-2 / Wisconsin commercial
+    workloads by mixing the four sharing categories those applications
+    are built from (private, migratory, producer-consumer, read-mostly)
+    in preset-tunable proportions over disjoint block regions.  The
+    protocols only ever see the reference stream, so preserving the
+    sharing-pattern mix preserves every protocol-level effect the
+    paper's evaluation measures (sharing-miss fraction, indirection
+    cost, predictor accuracy); see :mod:`repro.workloads.presets` for
+    the per-benchmark tunings.
+    """
 
     def __init__(self, num_cores: int, params: SyntheticParams,
                  seed: int = 1, block_offset: int = 0) -> None:

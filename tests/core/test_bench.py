@@ -21,12 +21,15 @@ TINY_SCALE = BenchScale(
     enc_core_counts=(4,),
     enc_refs={4: 10},
     enc_table_blocks={4: 24},
+    scenario_workloads=("migratory", "false-sharing"),
+    scenario_topologies=("torus", "mesh"),
+    scenario_cores=4, scenario_refs=10, scenario_seeds=(1,),
 )
 
 EXPECTED_TABLES = (
     "fig4_runtime", "fig5_traffic", "fig6_bandwidth_ocean",
     "fig7_bandwidth_jbb", "fig8_scalability", "fig9_inexact_runtime",
-    "fig10_inexact_traffic",
+    "fig10_inexact_traffic", "scenario_matrix",
 )
 
 
@@ -47,7 +50,8 @@ def test_run_bench_writes_tables_and_report(tmp_path):
     assert report["scale"] == "tiny"
     assert report["jobs"] == 1
     assert set(report["timings_seconds"]) == {
-        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "scenario"}
     assert report["total_seconds"] > 0
     assert report["cache"]["stores"] == report["cache"]["misses"] > 0
     assert report["headline"]["patch_all_geomean"] > 0

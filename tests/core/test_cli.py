@@ -1,8 +1,14 @@
 """CLI tests: every subcommand runs and prints sane output."""
 
+import argparse
+import pathlib
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 
 
 def test_parser_rejects_missing_command():
@@ -115,6 +121,81 @@ def test_fig4_with_jobs_and_cache_dir(tmp_path, capsys):
     parallel = capsys.readouterr().out
     assert serial == parallel
     assert any(tmp_path.iterdir())  # the cache was actually written
+
+
+def test_run_command_with_topology(capsys):
+    code = main(["run", "--protocol", "patch", "--predictor", "all",
+                 "--workload", "migratory", "--topology", "mesh",
+                 "--cores", "4", "--refs", "20"])
+    assert code == 0
+    assert "topo=mesh" in capsys.readouterr().out
+
+
+def test_run_command_rejects_unknown_topology():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--topology", "hypercube"])
+
+
+def test_list_scenarios_names_generators_and_topologies(capsys):
+    assert main(["list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for workload in ("migratory", "producer-consumer", "false-sharing",
+                     "lock-contention", "hot-home"):
+        assert workload in out
+    for topology in ("torus", "mesh", "fully-connected"):
+        assert topology in out
+
+
+def test_scenarios_command(capsys):
+    code = main(["scenarios", "--cores", "4", "--refs", "10",
+                 "--workloads", "migratory",
+                 "--topologies", "torus", "fully-connected"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Scenario matrix" in out
+    assert "fully-connected" in out
+
+
+def _subcommands():
+    parser = build_parser()
+    action = next(a for a in parser._actions
+                  if isinstance(a, argparse._SubParsersAction))
+    return action.choices
+
+
+def _documented_invocations(text):
+    """(subcommand, flags) for every ``repro <sub> [--flag ...]`` line."""
+    for line in text.splitlines():
+        match = re.search(r"\brepro ([a-z][a-z0-9-]*)", line)
+        if match:
+            yield match.group(1), re.findall(r"--[a-z][a-z-]*", line), line
+
+
+@pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md"])
+def test_documented_cli_recipes_exist(doc):
+    """Anti-drift: every `repro` invocation in the docs must parse."""
+    subcommands = _subcommands()
+    text = (REPO_ROOT / doc).read_text(encoding="utf-8")
+    checked = 0
+    for sub, flags, line in _documented_invocations(text):
+        assert sub in subcommands, f"{doc} documents unknown command: {line}"
+        known_flags = set(subcommands[sub]._option_string_actions)
+        for flag in flags:
+            assert flag in known_flags, (
+                f"{doc} documents unknown flag {flag} for "
+                f"'repro {sub}': {line}")
+        checked += 1
+    assert checked > 0  # the doc actually documents the CLI
+
+
+def test_cli_docstring_examples_exist():
+    import repro.cli as cli
+    subcommands = _subcommands()
+    for sub, flags, line in _documented_invocations(cli.__doc__):
+        assert sub in subcommands, line
+        known_flags = set(subcommands[sub]._option_string_actions)
+        for flag in flags:
+            assert flag in known_flags, line
 
 
 def test_bench_command_writes_report(tmp_path, capsys, monkeypatch):

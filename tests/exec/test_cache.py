@@ -58,6 +58,27 @@ def test_config_change_invalidates(tmp_path):
     assert cache.load(changed) is None
 
 
+def test_topology_and_scenario_are_part_of_the_key(tmp_path):
+    """Changing topology or workload is a miss; re-running is a hit."""
+    cache = ResultCache(tmp_path)
+    torus_cell = make_cell(BASE, "migratory", 20, seed=1)
+    cache.store(torus_cell, execute_cell(torus_cell))
+    # Same scenario on another fabric: different cell, cache miss.
+    mesh_cell = make_cell(BASE.with_updates(topology="mesh"),
+                          "migratory", 20, seed=1)
+    assert cache_key(mesh_cell) != cache_key(torus_cell)
+    assert cache.load(mesh_cell) is None
+    # Same fabric, another scenario: also a miss.
+    other_scenario = make_cell(BASE, "hot-home", 20, seed=1)
+    assert cache.load(other_scenario) is None
+    # The identical (topology, scenario) cell is a hit.
+    assert cache.load(make_cell(BASE, "migratory", 20, seed=1)) is not None
+    # And the mesh cell hits once stored.
+    cache.store(mesh_cell, execute_cell(mesh_cell))
+    assert cache.load(make_cell(BASE.with_updates(topology="mesh"),
+                                "migratory", 20, seed=1)) is not None
+
+
 def test_code_version_change_invalidates(tmp_path, monkeypatch):
     cache = ResultCache(tmp_path)
     cell = make_cell(BASE, "microbench", 20, seed=1)

@@ -1,0 +1,168 @@
+"""Mesh2D, FullyConnected, and the topology registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.interconnect.topology import (TOPOLOGIES, FullyConnected, Mesh2D,
+                                         Torus2D, make_topology,
+                                         mean_hops_estimate, topology_names)
+
+
+# ---------------------------------------------------------------------------
+# Mesh2D: dimension-order routing with no wrap links
+# ---------------------------------------------------------------------------
+
+def test_mesh_route_is_dimension_order_x_first():
+    mesh = Mesh2D(4, 4)
+    path = mesh.route(0, 10)  # (0,0) -> (2,2)
+    coords = [mesh.coord(n) for n in path]
+    assert coords == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+
+def test_mesh_never_wraps():
+    mesh = Mesh2D(8, 1)
+    # 0 -> 6 must walk 6 hops forward; the torus would wrap in 2.
+    assert mesh.hop_count(0, 6) == 6
+    assert Torus2D(8, 1).hop_count(0, 6) == 2
+    for src, dst in ((0, 7), (7, 0)):
+        path = mesh.route(src, dst)
+        assert len(path) - 1 == 7
+
+
+def test_mesh_hop_count_is_manhattan_distance():
+    mesh = Mesh2D(4, 3)
+    for src in range(12):
+        for dst in range(12):
+            x, y = mesh.coord(src)
+            dx, dy = mesh.coord(dst)
+            assert mesh.hop_count(src, dst) == abs(dx - x) + abs(dy - y)
+            assert mesh.hop_count(src, dst) == len(mesh.route(src, dst)) - 1
+
+
+def test_mesh_links_exclude_wrap_edges():
+    mesh = Mesh2D(4, 4)
+    # 2 * w * (h-1) + 2 * h * (w-1) directed links on a mesh.
+    assert len(mesh.links()) == 2 * 4 * 3 + 2 * 4 * 3
+    links = set(mesh.links())
+    assert (0, 3) not in links       # no X wrap
+    assert (0, 12) not in links      # no Y wrap
+    assert (0, 1) in links and (1, 0) in links
+
+
+def test_mesh_average_hop_count_closed_form_matches_enumeration():
+    for width, height in ((4, 4), (3, 5), (1, 6)):
+        mesh = Mesh2D(width, height)
+        n = mesh.num_nodes
+        brute = sum(mesh.hop_count(s, d)
+                    for s in range(n) for d in range(n)) / (n * (n - 1))
+        assert mesh.average_hop_count() == pytest.approx(brute)
+    # Mesh paths are never shorter than torus paths on the same grid.
+    assert Mesh2D(4, 4).average_hop_count() >= Torus2D(4, 4).average_hop_count()
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.integers(min_value=1, max_value=6), st.data())
+def test_mesh_next_hop_always_progresses(width, height, data):
+    mesh = Mesh2D(width, height)
+    src = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+    node = src
+    steps = 0
+    while node != dst:
+        nxt = mesh.next_hop(node, dst)
+        assert mesh.hop_count(nxt, dst) == mesh.hop_count(node, dst) - 1
+        node = nxt
+        steps += 1
+        assert steps <= width + height
+
+
+def test_mesh_multicast_tree_spans_destinations():
+    mesh = Mesh2D(4, 4)
+    dests = [3, 12, 15]
+    tree = mesh.multicast_tree(0, dests)
+    reached = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for child in tree.get(node, ()):
+            assert child not in reached
+            reached.add(child)
+            frontier.append(child)
+    assert set(dests) <= reached
+
+
+# ---------------------------------------------------------------------------
+# FullyConnected: one hop everywhere
+# ---------------------------------------------------------------------------
+
+def test_fully_connected_is_single_hop():
+    fc = FullyConnected(9)
+    for src in range(9):
+        for dst in range(9):
+            expected = 0 if src == dst else 1
+            assert fc.hop_count(src, dst) == expected
+            assert fc.route(src, dst) == ([src] if src == dst
+                                          else [src, dst])
+    assert fc.average_hop_count() == 1.0
+
+
+def test_fully_connected_has_a_link_per_ordered_pair():
+    fc = FullyConnected(6)
+    links = fc.links()
+    assert len(links) == 6 * 5
+    assert len(set(links)) == len(links)
+
+
+def test_fully_connected_multicast_is_a_star():
+    fc = FullyConnected(8)
+    tree = fc.multicast_tree(2, [0, 2, 5, 7])
+    assert tree == {2: [0, 5, 7]}
+    assert fc.tree_edge_count(tree) == 3
+    assert fc.multicast_tree(2, [2]) == {}
+
+
+def test_fully_connected_rejects_bad_nodes():
+    fc = FullyConnected(4)
+    with pytest.raises(ValueError):
+        fc.next_hop(0, 4)
+    with pytest.raises(ValueError):
+        FullyConnected(0)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_names_and_round_trip():
+    assert topology_names() == ("fully-connected", "mesh", "torus")
+    for name, cls in (("torus", Torus2D), ("mesh", Mesh2D),
+                      ("fully-connected", FullyConnected)):
+        assert cls.topology_name == name
+        built = make_topology(name, 16, (4, 4))
+        assert isinstance(built, cls)
+        assert built.num_nodes == 16
+        assert TOPOLOGIES[name].description
+
+
+def test_make_topology_validates_grid_dims():
+    with pytest.raises(ValueError):
+        make_topology("mesh", 16, (5, 4))
+    with pytest.raises(ValueError):
+        make_topology("torus", 16, (5, 4))
+    # Fully connected ignores the grid shape.
+    assert make_topology("fully-connected", 7, (7, 1)).num_nodes == 7
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError, match="unknown topology"):
+        make_topology("hypercube", 16, (4, 4))
+    with pytest.raises(ValueError, match="unknown topology"):
+        mean_hops_estimate("hypercube", (4, 4))
+
+
+def test_mean_hops_estimates_order_sensibly():
+    # On the same grid: fully-connected < torus < mesh expected distance.
+    assert mean_hops_estimate("fully-connected", (4, 4)) == 1.0
+    assert (mean_hops_estimate("fully-connected", (4, 4))
+            < mean_hops_estimate("torus", (4, 4))
+            < mean_hops_estimate("mesh", (4, 4)))

@@ -1,0 +1,180 @@
+"""Workload registry: determinism of every generator + round-trips."""
+
+import pytest
+
+from repro.workloads import (make_workload, workload_names, workload_specs)
+from repro.workloads.base import Access, WorkloadGenerator
+from repro.workloads.patterns import (FalseSharingWorkload, HotHomeWorkload,
+                                      LockContentionWorkload,
+                                      MigratoryWorkload,
+                                      ProducerConsumerWorkload)
+from repro.workloads.registry import get_spec, register_factory
+
+PATTERN_CLASSES = (MigratoryWorkload, ProducerConsumerWorkload,
+                   FalseSharingWorkload, LockContentionWorkload,
+                   HotHomeWorkload)
+
+
+def stream(workload, cores, n):
+    """Interleaved per-core access stream (round-robin issue order)."""
+    return [workload.next_access(core)
+            for i in range(n) for core in range(cores)]
+
+
+# ---------------------------------------------------------------------------
+# Registry contents and round-trips
+# ---------------------------------------------------------------------------
+
+def test_all_sharing_patterns_registered():
+    names = workload_names()
+    for expected in ("migratory", "producer-consumer", "false-sharing",
+                     "lock-contention", "hot-home", "microbench", "oltp"):
+        assert expected in names
+
+
+def test_registry_name_class_name_round_trip():
+    for cls in PATTERN_CLASSES:
+        name = cls.workload_name
+        spec = get_spec(name)
+        assert spec.factory is cls
+        assert spec.factory.workload_name == name
+        assert spec.name == name
+
+
+def test_specs_sorted_and_described():
+    specs = workload_specs()
+    assert [s.name for s in specs] == sorted(workload_names())
+    for spec in specs:
+        assert spec.description
+        assert spec.kind in ("pattern", "preset", "micro")
+
+
+def test_make_workload_builds_every_registered_generator():
+    for name in workload_names():
+        workload = make_workload(name, num_cores=4, seed=1)
+        assert isinstance(workload, WorkloadGenerator)
+        assert isinstance(workload.next_access(0), Access)
+
+
+def test_unknown_name_rejected_with_choices():
+    with pytest.raises(ValueError, match="unknown workload"):
+        make_workload("splash2", num_cores=4)
+    with pytest.raises(ValueError, match="unknown workload"):
+        get_spec("splash2")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_factory("migratory", MigratoryWorkload, "dup", "pattern")
+
+
+# ---------------------------------------------------------------------------
+# Determinism: same seed => identical stream, for EVERY generator
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", workload_names())
+def test_same_seed_identical_stream(name):
+    a = make_workload(name, num_cores=4, seed=11)
+    b = make_workload(name, num_cores=4, seed=11)
+    assert stream(a, 4, 100) == stream(b, 4, 100)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_different_seeds_differ(name):
+    a = make_workload(name, num_cores=4, seed=1)
+    b = make_workload(name, num_cores=4, seed=2)
+    assert stream(a, 4, 100) != stream(b, 4, 100)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_stream_independent_of_core_interleaving(name):
+    """Each core's sub-stream is a pure function of (seed, core)."""
+    a = make_workload(name, num_cores=2, seed=5)
+    b = make_workload(name, num_cores=2, seed=5)
+    # a: core 0 first, then core 1; b: interleaved.
+    a0 = [a.next_access(0) for _ in range(50)]
+    a1 = [a.next_access(1) for _ in range(50)]
+    b0, b1 = [], []
+    for _ in range(50):
+        b0.append(b.next_access(0))
+        b1.append(b.next_access(1))
+    assert a0 == b0
+    assert a1 == b1
+
+
+# ---------------------------------------------------------------------------
+# Pattern semantics
+# ---------------------------------------------------------------------------
+
+def test_migratory_visits_end_with_a_write_to_same_block():
+    workload = MigratoryWorkload(num_cores=2, seed=3, reads_per_visit=2)
+    accesses = [workload.next_access(0) for _ in range(90)]
+    for i in range(0, 90, 3):
+        read1, read2, write = accesses[i:i + 3]
+        assert not read1.is_write and not read2.is_write
+        assert write.is_write
+        assert read1.block == read2.block == write.block
+
+
+def test_producer_consumer_only_producer_writes():
+    workload = ProducerConsumerWorkload(num_cores=4, seed=1, blocks=16)
+    for core in range(4):
+        for access in (workload.next_access(core) for _ in range(400)):
+            if access.is_write:
+                assert workload.producer_of(access.block) == core
+
+
+def test_false_sharing_confines_traffic_to_small_pool():
+    workload = FalseSharingWorkload(num_cores=8, seed=1, blocks=4)
+    accesses = [workload.next_access(c) for c in range(8) for _ in range(50)]
+    assert {a.block for a in accesses} <= set(range(4))
+    assert any(a.is_write for a in accesses)
+
+
+def test_lock_contention_spins_then_acquires():
+    workload = LockContentionWorkload(num_cores=1, seed=1, locks=1,
+                                      spins_per_acquire=3, payload_refs=0)
+    # Phases: 3 spin reads, acquire write, release write (payload_refs=0).
+    accesses = [workload.next_access(0) for _ in range(10)]
+    assert [a.is_write for a in accesses[:5]] == [False] * 3 + [True, True]
+    assert all(a.block == 0 for a in accesses[:5])  # the single lock block
+
+
+def test_lock_contention_payload_stays_in_lock_region():
+    workload = LockContentionWorkload(num_cores=2, seed=2, locks=2,
+                                      payload_blocks_per_lock=4)
+    for access in (workload.next_access(0) for _ in range(200)):
+        assert 0 <= access.block < 2 + 2 * 4
+
+
+def test_hot_home_concentrates_on_one_home():
+    cores = 8
+    workload = HotHomeWorkload(num_cores=cores, seed=1, hot_node=3,
+                               hot_fraction=1.0)
+    for access in (workload.next_access(c) for c in range(cores)
+                   for _ in range(50)):
+        assert access.block % cores == 3
+
+
+def test_hot_home_background_is_per_core_private():
+    cores = 4
+    workload = HotHomeWorkload(num_cores=cores, seed=1, hot_fraction=0.0,
+                               background_blocks_per_core=16)
+    base = workload._background_base
+    for core in range(cores):
+        for access in (workload.next_access(core) for _ in range(100)):
+            lo = base + core * 16
+            assert lo <= access.block < lo + 16
+
+
+def test_pattern_parameter_validation():
+    with pytest.raises(ValueError):
+        MigratoryWorkload(num_cores=2, blocks=0)
+    with pytest.raises(ValueError):
+        ProducerConsumerWorkload(num_cores=2, producer_write_fraction=1.5)
+    with pytest.raises(ValueError):
+        FalseSharingWorkload(num_cores=2, write_fraction=-0.1)
+    with pytest.raises(ValueError):
+        LockContentionWorkload(num_cores=2, locks=0)
+    with pytest.raises(ValueError):
+        HotHomeWorkload(num_cores=2, hot_node=2)
