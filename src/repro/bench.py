@@ -17,6 +17,14 @@ same code:
   ``benchmarks/results/`` and a machine-readable ``bench_results.json``
   with per-figure wall-clock timings, cache statistics, and the paper's
   headline comparison (PATCH-All vs. Directory and Token Coherence).
+* :func:`run_perf` (``repro bench --perf``) is the engine-throughput
+  microbench: a pure kernel events/sec figure plus timed single cells
+  on the default torus, merged into ``bench_results.json`` so the
+  perf trajectory accumulates across commits.  With ``--check`` it
+  fails if any measured cell's cycle counts drift from the committed
+  goldens in ``benchmarks/goldens/perf_cycles.json`` (the engine must
+  get faster without changing simulation results — see
+  docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -503,4 +511,201 @@ def run_bench(quick: bool = False,
         echo("headline regression: PATCH-All no longer within noise of "
              "Token Coherence / Directory")
         return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Engine-throughput microbench (`repro bench --perf`)
+# ---------------------------------------------------------------------------
+
+#: Committed per-cell cycle counts the perf bench must reproduce: the
+#: engine is only allowed to get *faster*, never to change results.
+PERF_GOLDENS_PATH = os.path.join("benchmarks", "goldens",
+                                 "perf_cycles.json")
+
+#: The timed cells: the paper's two headline protocols on the default
+#: torus.  ``(label, protocol, predictor)``.
+PERF_CELLS = (
+    ("PATCH-All", "patch", "all"),
+    ("Directory", "directory", "none"),
+)
+
+#: Fields of a perf cell that --check compares against the goldens
+#: (events_processed is recorded but not gated: eliding no-op events is
+#: a legitimate engine optimization, changing cycle counts is not).
+PERF_CHECKED_FIELDS = ("runtime_cycles", "traffic_total_bytes",
+                       "dropped_direct_requests")
+
+
+def kernel_events_per_second(pending: int = 2048, events: int = 100_000,
+                             repeats: int = 3) -> float:
+    """Raw kernel scheduling throughput (events/sec, best of repeats).
+
+    Keeps ``pending`` self-rescheduling chains in flight so the heap
+    depth resembles a real run, then dispatches ``events`` callbacks.
+    """
+    from repro.sim.kernel import Simulator
+
+    def one_pass() -> float:
+        sim = Simulator()
+        remaining = [events]
+
+        def tick(chain: int, _sim=sim, _remaining=remaining):
+            if _remaining[0] > 0:
+                _remaining[0] -= 1
+                _sim.post((chain * 7) % 13 + 1, lambda: tick(chain))
+
+        for chain in range(pending):
+            sim.post(chain % 11, lambda c=chain: tick(c))
+        start = time.perf_counter()
+        sim.run()
+        return sim.events_processed / (time.perf_counter() - start)
+
+    return max(one_pass() for _ in range(repeats))
+
+
+def engine_perf_cell(protocol: str, predictor: str, num_cores: int,
+                     references_per_core: int) -> Dict[str, object]:
+    """Time one in-process simulation on the default torus.
+
+    Runs outside the parallel runner and result cache on purpose: the
+    point is to time the simulation itself, and a cache hit would time
+    nothing.
+    """
+    from repro.core.system import System
+    from repro.workloads import make_workload
+
+    config = SystemConfig(num_cores=num_cores, protocol=protocol,
+                          predictor=predictor)
+    workload = make_workload("microbench", num_cores=num_cores, seed=1)
+    system = System(config, workload,
+                    references_per_core=references_per_core)
+    start = time.perf_counter()
+    result = system.run()
+    wall = time.perf_counter() - start
+    return {
+        "protocol": protocol,
+        "predictor": predictor,
+        "num_cores": num_cores,
+        "references_per_core": references_per_core,
+        "wall_seconds": round(wall, 6),
+        "runtime_cycles": result.runtime_cycles,
+        "events_processed": result.events_processed,
+        "events_per_second": round(result.events_processed / wall, 1),
+        "cycles_per_second": round(result.runtime_cycles / wall, 1),
+        "traffic_total_bytes": sum(result.traffic_bytes_raw.values()),
+        "dropped_direct_requests": result.dropped_direct_requests,
+    }
+
+
+def engine_perf_results(quick: bool = False) -> Dict[str, object]:
+    """The full engine-throughput report (kernel + workload cells)."""
+    if quick:
+        kernel = kernel_events_per_second(events=30_000, repeats=2)
+        cores, refs = 16, 120
+    else:
+        kernel = kernel_events_per_second()
+        cores, refs = 16, 400
+    cells = {label: engine_perf_cell(protocol, predictor, cores, refs)
+             for label, protocol, predictor in PERF_CELLS}
+    return {
+        "scale": "quick" if quick else "full",
+        "kernel_events_per_second": round(kernel, 1),
+        "cells": cells,
+    }
+
+
+def check_perf_goldens(perf: Dict[str, object],
+                       goldens_path: str = PERF_GOLDENS_PATH) -> List[str]:
+    """Compare measured cycle counts to the committed goldens.
+
+    Returns a list of human-readable drift descriptions (empty == ok).
+    """
+    if not os.path.exists(goldens_path):
+        return [f"perf goldens missing: {goldens_path} (regenerate with "
+                "`repro bench --perf --update-goldens`)"]
+    with open(goldens_path, encoding="utf-8") as handle:
+        goldens = json.load(handle)
+    expected = goldens.get(perf["scale"], {})
+    problems = []
+    for label, cell in perf["cells"].items():
+        golden = expected.get(label)
+        if golden is None:
+            problems.append(f"{perf['scale']}/{label}: no committed golden")
+            continue
+        for fieldname in PERF_CHECKED_FIELDS:
+            expected_value = golden.get(fieldname)
+            if cell[fieldname] != expected_value:
+                problems.append(
+                    f"{perf['scale']}/{label}: {fieldname} drifted "
+                    f"(golden {expected_value}, got {cell[fieldname]})")
+    return problems
+
+
+def update_perf_goldens(goldens_path: str = PERF_GOLDENS_PATH,
+                        echo=print) -> Dict[str, Dict[str, object]]:
+    """Re-measure both scales and rewrite the committed golden file.
+
+    Returns the measured reports per scale name so the caller can reuse
+    them (``repro bench --perf --update-goldens`` feeds the matching
+    one straight into :func:`run_perf` instead of measuring again).
+    """
+    payload = {}
+    measured: Dict[str, Dict[str, object]] = {}
+    for quick in (False, True):
+        perf = engine_perf_results(quick=quick)
+        measured[perf["scale"]] = perf
+        payload[perf["scale"]] = {
+            label: {fieldname: cell[fieldname]
+                    for fieldname in PERF_CHECKED_FIELDS + (
+                        "events_processed",)}
+            for label, cell in perf["cells"].items()}
+    os.makedirs(os.path.dirname(goldens_path), exist_ok=True)
+    with open(goldens_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    echo(f"wrote perf goldens -> {goldens_path}")
+    return measured
+
+
+def run_perf(quick: bool = False, out_path: str = "bench_results.json",
+             check: bool = False,
+             goldens_path: str = PERF_GOLDENS_PATH, echo=print,
+             perf: Optional[Dict[str, object]] = None) -> int:
+    """Run the engine-throughput microbench; merge into ``out_path``.
+
+    The report lands under the ``engine_perf`` key of
+    ``bench_results.json`` (created if the figure suite has not run),
+    so one artifact carries both the figure timings and the engine
+    throughput trajectory.  ``perf`` supplies an already-measured
+    report instead of measuring (used after ``--update-goldens``).
+    """
+    if perf is None:
+        perf = engine_perf_results(quick=quick)
+    echo(f"[kernel] {perf['kernel_events_per_second']:>12,.0f} events/sec "
+         f"(heap-deep scheduling microbench)")
+    for label, cell in perf["cells"].items():
+        echo(f"[{label:>10}] {cell['wall_seconds']:8.2f}s  "
+             f"{cell['events_per_second']:>12,.0f} events/sec  "
+             f"{cell['cycles_per_second']:>12,.0f} sim-cycles/sec  "
+             f"(runtime {cell['runtime_cycles']} cycles)")
+    report: Dict[str, object] = {"schema": 1}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path, encoding="utf-8") as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            pass  # unreadable previous report: start fresh
+    report["engine_perf"] = perf
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    echo(f"[ total] engine_perf -> {out_path}")
+    if check:
+        problems = check_perf_goldens(perf, goldens_path)
+        if problems:
+            for problem in problems:
+                echo(f"perf drift: {problem}")
+            return 1
+        echo("perf goldens: cycle counts match")
     return 0

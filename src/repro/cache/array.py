@@ -65,7 +65,8 @@ class CacheArray:
 
     def lookup(self, block: int, touch: bool = False) -> Optional[CacheLine]:
         """Find the line for ``block``; optionally refresh its LRU stamp."""
-        line = self._set_for(block).get(block)
+        # Inlined _set_for: controllers probe the cache per message.
+        line = self._sets[block % self.num_sets].get(block)
         if line is not None and touch:
             self._tick += 1
             line.last_use = self._tick

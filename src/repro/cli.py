@@ -13,14 +13,17 @@ regenerates the paper's experiments from the shell:
     repro fig9 --cores 64
     repro scenarios --cores 8 --refs 40
     repro bench --quick --jobs 4
+    repro bench --perf --check
     repro list
     repro list-scenarios
 
 The figure subcommands print the same tables the benchmark suite
 produces (the benchmarks additionally assert the paper's claims),
 ``repro scenarios`` prints the sharing-pattern x topology ablation
-matrix, and ``repro bench`` regenerates the whole figure suite with
-machine-readable timings.  Experiment subcommands accept ``--jobs``
+matrix, ``repro bench`` regenerates the whole figure suite with
+machine-readable timings, and ``repro bench --perf`` runs the
+engine-throughput microbench (``--check`` gates on the committed
+cycle-count goldens).  Experiment subcommands accept ``--jobs``
 (process-pool width, default ``REPRO_JOBS`` or the CPU count),
 ``--no-cache``, and ``--cache-dir`` (default ``REPRO_CACHE_DIR`` or
 ``~/.cache/repro``).
@@ -35,7 +38,8 @@ from typing import List, Optional
 
 from repro.analysis import bar_chart, format_table
 from repro.bench import (render_bandwidth, render_fig4, render_fig5,
-                         render_fig8, render_scenarios, run_bench)
+                         render_fig8, render_scenarios, run_bench,
+                         run_perf, update_perf_goldens)
 from repro.config import PREDICTORS, PROTOCOLS, SystemConfig
 from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
                                run_experiment, run_matrix)
@@ -172,7 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check", action="store_true",
                        help="exit non-zero if the paper's headline claim "
                             "(PATCH-All within noise of Token Coherence) "
-                            "regressed")
+                            "regressed; with --perf, gate instead on the "
+                            "committed engine cycle-count goldens")
+    bench.add_argument("--perf", action="store_true",
+                       help="run the engine-throughput microbench instead "
+                            "of the figure suite (results merge into the "
+                            "--out report under 'engine_perf')")
+    bench.add_argument("--update-goldens", action="store_true",
+                       help="with --perf: re-measure and rewrite the "
+                            "committed perf cycle-count goldens")
 
     sub.add_parser("list", help="list workloads and configurations")
     sub.add_parser("list-scenarios",
@@ -279,6 +291,19 @@ def cmd_scenarios(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.update_goldens and not args.perf:
+        print("error: --update-goldens only applies to the perf bench; "
+              "did you mean `repro bench --perf --update-goldens`?",
+              file=sys.stderr)
+        return 2
+    if args.perf:
+        perf = None
+        if args.update_goldens:
+            # Reuse the just-measured report rather than measuring again.
+            measured = update_perf_goldens()
+            perf = measured["quick" if args.quick else "full"]
+        return run_perf(quick=args.quick, out_path=args.out,
+                        check=args.check, perf=perf)
     return run_bench(quick=args.quick, results_dir=args.results_dir,
                      out_path=args.out, check=args.check)
 

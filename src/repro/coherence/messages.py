@@ -48,6 +48,11 @@ class MsgType(Enum):
     PERSISTENT_ACTIVATE = "PERSISTENT_ACTIVATE"  # home -> all (broadcast)
     PERSISTENT_DEACTIVATE = "PERSISTENT_DEACTIVATE"  # home -> all
 
+    # Members are singletons compared by identity, so the identity hash
+    # is equivalent to Enum's name-based hash — but C-speed.  Every
+    # controller dispatches on dicts keyed by MsgType per message.
+    __hash__ = object.__hash__
+
 
 REQUEST_TYPES = frozenset({MsgType.GETS, MsgType.GETM})
 DIRECT_TYPES = frozenset({MsgType.DIRECT_GETS, MsgType.DIRECT_GETM})
@@ -62,9 +67,10 @@ def next_txn_id() -> int:
     return next(_txn_ids)
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceMsg:
-    """Payload of one coherence message."""
+    """Payload of one coherence message (slotted: controllers read
+    these fields on every dispatch)."""
 
     mtype: MsgType
     block: int                      # block number (address / block_size)

@@ -21,7 +21,7 @@ class TokenError(ValueError):
     """A token-counting rule was violated."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenCount:
     """``count`` tokens total, ``owner`` of them being the owner token.
 

@@ -132,20 +132,25 @@ class System:
         raise ValueError(f"unknown protocol {protocol!r}")
 
     def _make_endpoint(self, node: int) -> Callable[[Message], None]:
+        # Bind the per-node controllers once: this closure runs for
+        # every delivered message, and a captured local is cheaper than
+        # two attribute hops plus a list index.
         is_tokenb = self.config.protocol == "tokenb"
         num_cores = self.config.num_cores
+        home = self.homes[node]
+        cache = self.caches[node]
 
         def handler(msg: Message) -> None:
             payload = msg.payload
             if payload.to_home:
-                self.homes[node].handle_message(msg)
+                home.handle_message(msg)
                 return
             if (is_tokenb
                     and payload.mtype in (MsgType.GETS, MsgType.GETM)
                     and node == payload.block % num_cores):
                 # TokenB broadcasts reach the block's memory module too.
-                self.homes[node].handle_message(msg)
-            self.caches[node].handle_message(msg)
+                home.handle_message(msg)
+            cache.handle_message(msg)
 
         return handler
 

@@ -41,7 +41,7 @@ class Core:
         if self.quota == 0:
             self._finish()
             return
-        self.sim.schedule(0, self._issue_next)
+        self.sim.post(0, self._issue_next)
 
     def _issue_next(self) -> None:
         access = self.workload.next_access(self.core_id)
@@ -53,7 +53,7 @@ class Core:
         if self.done:
             self._finish()
             return
-        self.sim.schedule(max(0, access.think_time), self._issue_next)
+        self.sim.post(max(0, access.think_time), self._issue_next)
 
     def _finish(self) -> None:
         self.finish_time = self.sim.now

@@ -29,13 +29,14 @@ class Priority(IntEnum):
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One coherence message in flight.
 
     ``dests`` may name several nodes, in which case the torus network
     delivers it along a bandwidth-efficient fan-out multicast tree
     (each tree edge charged once, as in the paper's interconnect).
+    Slotted: the interconnect reads these fields on every hop.
     """
 
     src: int

@@ -11,6 +11,22 @@ paper's "deprioritize and discard if stale" policy that gives PATCH its
 do-no-harm guarantee.  ``TorusNetwork`` is a backward-compatible alias
 from when the 2D torus was the only fabric.
 
+This module is the simulator's hottest code: every message crosses
+several links and every link transmission is a handful of kernel
+events.  The layout is therefore deliberately flat (see
+docs/PERFORMANCE.md for the full anatomy):
+
+* routing comes from the topology's precomputed
+  :class:`~repro.interconnect.topology.RoutingTables` — forwarding is
+  list indexing, never per-hop arithmetic;
+* links live in index-addressed arrays (``_first_hop[node][dest]``
+  resolves source+destination straight to the first link server, and
+  ``_link_at[node][neighbor]`` serves multicast tree edges);
+* endpoints dispatch through a list indexed by node id;
+* link servers keep their own references to the clock and meter, memo
+  serialization durations per message size, and schedule no follow-up
+  ``_serve`` event when their queues are empty at transmit time.
+
 :class:`RandomDelayNetwork` is an adversarial model for correctness tests:
 it delivers messages with random, unordered delays and can drop best-effort
 messages with configurable probability.  Coherence safety and forward
@@ -53,10 +69,14 @@ class _Hop:
 
     ``tree`` is the multicast fan-out tree (node -> children) when the
     message has several destinations; for unicast it is None and
-    ``final_dest`` guides dimension-order forwarding.
+    ``final_dest`` guides table-routed forwarding.  ``priority``,
+    ``size_bytes`` and ``msg_class`` are copied out of the inner message
+    once at construction — link servers read them on every enqueue and
+    transmit, and a slot load is cheaper than a property hop.
     """
 
-    __slots__ = ("inner", "final_dest", "tree", "deliver_set")
+    __slots__ = ("inner", "final_dest", "tree", "deliver_set",
+                 "priority", "size_bytes", "msg_class")
 
     def __init__(self, inner: Message, final_dest: Optional[int] = None,
                  tree: Optional[Dict[int, List[int]]] = None,
@@ -65,91 +85,180 @@ class _Hop:
         self.final_dest = final_dest
         self.tree = tree
         self.deliver_set = deliver_set
-
-    @property
-    def priority(self) -> Priority:
-        return self.inner.priority
-
-    @property
-    def size_bytes(self) -> int:
-        return self.inner.size_bytes
-
-    @property
-    def msg_class(self):
-        return self.inner.msg_class
+        self.priority = inner.priority
+        self.size_bytes = inner.size_bytes
+        self.msg_class = inner.msg_class
 
 
 class _LinkServer:
     """One directed link: fixed per-hop latency plus serialization at
     ``bandwidth`` bytes/cycle, two priority FIFOs, stale-drop for
-    best-effort traffic."""
+    best-effort traffic.
 
-    __slots__ = ("network", "src", "dst", "normal", "best_effort",
-                 "busy_until", "_active", "busy_cycles")
+    ``busy_cycles`` charges the full serialization duration when a
+    transmission *starts*; :meth:`SwitchedNetwork.utilization` subtracts
+    the not-yet-elapsed tail of an in-flight transmission so a run that
+    ends mid-transmission never reports utilization above 1.0.
+    """
+
+    __slots__ = ("sim", "src", "dst", "normal", "best_effort",
+                 "busy_until", "_scheduled", "_reserved_seq", "busy_cycles",
+                 "meter", "hop_latency", "drop_age", "bandwidth",
+                 "_durations", "_inflight", "_serve_cb", "_arrive_cb",
+                 "_forward_row", "_fanout_row", "_endpoints")
 
     def __init__(self, network: "SwitchedNetwork", src: int, dst: int) -> None:
-        self.network = network
+        self.sim = network.sim
         self.src = src
         self.dst = dst
-        # Each queue entry: (hop, enqueue_time)
-        self.normal: Deque[Tuple[_Hop, int]] = deque()
+        # Normal queue holds bare hops; best-effort entries carry their
+        # enqueue time, which the stale-drop check needs.
+        self.normal: Deque[_Hop] = deque()
         self.best_effort: Deque[Tuple[_Hop, int]] = deque()
         self.busy_until = 0
-        self._active = False
+        self._scheduled = False
+        self._reserved_seq = -1
         self.busy_cycles = 0
+        self.meter = network.meter
+        self.hop_latency = network.hop_latency
+        self.drop_age = network.drop_age
+        self.bandwidth = network.bandwidth
+        self._durations: Dict[int, int] = {}  # size -> serialization cycles
+        # Arrival-side rows, filled in by the network once its tables
+        # exist (SwitchedNetwork._wire_links): everything a hop landing
+        # at this link's dst needs, without a trip through the network.
+        self._forward_row: List[Optional["_LinkServer"]] = []
+        self._fanout_row: List[Optional["_LinkServer"]] = []
+        self._endpoints: List[Optional[Handler]] = []
+        # Hops on the wire, in transmission order.  Serialization makes
+        # arrival times strictly increasing per link, so arrivals pop
+        # FIFO and one bound method serves as every arrival callback (no
+        # per-transmission closure).
+        self._inflight: Deque[_Hop] = deque()
+        # Bound once: scheduling a method per event would allocate a
+        # fresh bound-method object each time.
+        self._serve_cb = self._serve
+        self._arrive_cb = self._arrive_next
 
     def enqueue(self, hop: _Hop) -> None:
-        now = self.network.sim.now
-        queue = (self.best_effort if hop.priority == Priority.BEST_EFFORT
-                 else self.normal)
-        queue.append((hop, now))
-        if not self._active:
-            self._activate()
-
-    def _activate(self) -> None:
-        self._active = True
-        delay = max(0, self.busy_until - self.network.sim.now)
-        self.network.sim.schedule(delay, self._serve)
+        sim = self.sim
+        # Priority.BEST_EFFORT == 1, NORMAL == 0: truthiness dispatch.
+        if hop.priority:
+            self.best_effort.append((hop, sim.now))
+        else:
+            self.normal.append(hop)
+        if self._scheduled:
+            return
+        self._scheduled = True
+        now = sim.now
+        busy = self.busy_until
+        reserved = self._reserved_seq
+        if reserved >= 0:
+            self._reserved_seq = -1
+            # The previous transmission ended with empty queues and
+            # reserved the follow-up serve's tie-break slot instead of
+            # scheduling a no-op.  If that slot is still "in the future"
+            # of the dispatch order, materialize the serve under it —
+            # the heap then pops events in exactly the order an engine
+            # that had scheduled the no-op would have.
+            if now < busy or (now == busy
+                              and sim._current_seq < reserved):
+                sim.post_reserved(busy, reserved, self._serve_cb)
+                return
+        gap = busy - now
+        sim.post(gap if gap > 0 else 0, self._serve_cb)
 
     def _serve(self) -> None:
-        """Transmit the highest-priority queued hop, if any."""
-        sim = self.network.sim
-        hop = self._pick()
-        if hop is None:
-            self._active = False
-            return
-        duration = max(1, math.ceil(hop.size_bytes / self.network.bandwidth))
+        """Transmit the highest-priority queued hop, if any.
+
+        Pick policy (inlined — one call per transmission): normal
+        traffic first, FIFO; best-effort only when no normal hop waits,
+        dropping entries that queued longer than ``drop_age``.
+        """
+        sim = self.sim
+        if self.normal:
+            hop = self.normal.popleft()
+        else:
+            hop = None
+            best_effort = self.best_effort
+            if best_effort:
+                now = sim.now
+                drop_age = self.drop_age
+                while best_effort:
+                    candidate, enqueued = best_effort.popleft()
+                    if drop_age is not None and now - enqueued > drop_age:
+                        self.meter.record_drop(candidate.size_bytes)
+                        continue
+                    hop = candidate
+                    break
+            if hop is None:
+                self._scheduled = False
+                return
+        size = hop.size_bytes
+        duration = self._durations.get(size)
+        if duration is None:
+            duration = max(1, math.ceil(size / self.bandwidth))
+            self._durations[size] = duration
         self.busy_until = sim.now + duration
         self.busy_cycles += duration
-        self.network.meter.record_traversal(hop.msg_class, hop.size_bytes)
-        arrival_delay = duration + self.network.hop_latency
-        sim.schedule(arrival_delay,
-                     lambda h=hop: self.network._arrive(h, self.dst))
-        sim.schedule(duration, self._serve)
+        # Inlined meter.record_traversal (one transmission == one
+        # directed-link traversal; this is the hottest meter call).
+        meter = self.meter
+        msg_class = hop.msg_class
+        meter.bytes[msg_class] += size
+        meter.link_traversals[msg_class] += 1
+        self._inflight.append(hop)
+        sim.post(duration + self.hop_latency, self._arrive_cb)
+        if self.normal or self.best_effort:
+            sim.post(duration, self._serve_cb)
+        else:
+            # Queues are empty: the follow-up serve would pop nothing.
+            # Reserve its sequence slot (keeping future tie-breaks
+            # bit-identical) but schedule no event; the next enqueue
+            # re-activates the link at busy_until.
+            self._scheduled = False
+            self._reserved_seq = sim.reserve_seq()
 
-    def _pick(self) -> Optional[_Hop]:
-        """Next hop to send: normal first; stale best-effort dropped."""
-        if self.normal:
-            return self.normal.popleft()[0]
-        now = self.network.sim.now
-        drop_age = self.network.drop_age
-        while self.best_effort:
-            hop, enqueued = self.best_effort.popleft()
-            if drop_age is not None and now - enqueued > drop_age:
-                self.network.meter.record_drop(hop.size_bytes)
-                continue
-            return hop
-        return None
+    def _arrive_next(self) -> None:
+        """Land the oldest in-flight hop at this link's dst: deliver,
+        forward along the routed path, or fan out down the tree."""
+        hop = self._inflight.popleft()
+        node = self.dst
+        tree = hop.tree
+        if tree is None:
+            dest = hop.final_dest
+            if node == dest:
+                handler = self._endpoints[node]
+                if handler is None:
+                    raise RuntimeError(
+                        f"no endpoint registered at node {node}")
+                handler(hop.inner)
+            else:
+                self._forward_row[dest].enqueue(hop)
+            return
+        if node in hop.deliver_set:
+            handler = self._endpoints[node]
+            if handler is None:
+                raise RuntimeError(f"no endpoint registered at node {node}")
+            handler(hop.inner)
+        children = tree.get(node)
+        if children:
+            inner, deliver = hop.inner, hop.deliver_set
+            row = self._fanout_row
+            for child in children:
+                row[child].enqueue(
+                    _Hop(inner, tree=tree, deliver_set=deliver))
 
 
 class SwitchedNetwork(NetworkInterface):
     """The detailed link-level interconnect model over any topology.
 
     Works against the :class:`~repro.interconnect.topology.Topology`
-    routing protocol only (``links`` / ``next_hop`` /
-    ``multicast_tree``), so the same bandwidth, priority, and stale-drop
-    machinery serves the torus, the mesh, and the fully-connected
-    fabric unchanged.
+    routing protocol only — at construction it asks the topology for its
+    :class:`~repro.interconnect.topology.RoutingTables` and its link
+    set, then flattens both into index-addressed arrays — so the same
+    bandwidth, priority, and stale-drop machinery serves the torus, the
+    mesh, and the fully-connected fabric unchanged.
     """
 
     def __init__(self, sim: Simulator, topology: Topology,
@@ -165,13 +274,34 @@ class SwitchedNetwork(NetworkInterface):
         self.hop_latency = hop_latency
         self.drop_age = drop_age
         self.meter = TrafficMeter()
-        self._endpoints: Dict[int, Handler] = {}
-        self._links: Dict[Tuple[int, int], _LinkServer] = {
-            link: _LinkServer(self, *link) for link in topology.links()}
+        self.routing = topology.build_routing()
+        n = topology.num_nodes
+        self._endpoints: List[Optional[Handler]] = [None] * n
+        self._links: List[_LinkServer] = [
+            _LinkServer(self, src, dst) for src, dst in topology.links()]
+        # (node, neighbor) -> link server, for multicast tree edges.
+        self._link_at: List[List[Optional[_LinkServer]]] = [
+            [None] * n for _ in range(n)]
+        for link in self._links:
+            self._link_at[link.src][link.dst] = link
+        # (node, final_dest) -> first link server on the routed path, so
+        # unicast forwarding is two list indexes with no arithmetic.
+        next_hop = self.routing.next_hop
+        self._first_hop: List[List[Optional[_LinkServer]]] = [
+            [self._link_at[node][next_hop[node][dest]] if dest != node
+             else None for dest in range(n)]
+            for node in range(n)
+        ]
+        # Hand every link the arrival-side rows for its dst, so a hop
+        # landing there is delivered/forwarded without a network call.
+        for link in self._links:
+            link._forward_row = self._first_hop[link.dst]
+            link._fanout_row = self._link_at[link.dst]
+            link._endpoints = self._endpoints
 
     # ------------------------------------------------------------------
     def register_endpoint(self, node: int, handler: Handler) -> None:
-        if node in self._endpoints:
+        if self._endpoints[node] is not None:
             raise ValueError(f"endpoint {node} already registered")
         self._endpoints[node] = handler
 
@@ -179,60 +309,73 @@ class SwitchedNetwork(NetworkInterface):
         """Inject a message at its source node."""
         msg.inject_time = self.sim.now
         self.meter.record_message(msg.msg_class)
-        dests = tuple(dict.fromkeys(msg.dests))  # dedupe, keep order
-        if msg.src in dests:
-            self.sim.schedule(LOCAL_DELIVERY_LATENCY,
+        dests = msg.dests
+        src = msg.src
+        if len(dests) == 1:
+            # Unicast fast path: no dedupe list, no tree.
+            dest = dests[0]
+            if dest == src:
+                self.sim.post(LOCAL_DELIVERY_LATENCY,
                               lambda m=msg: self._deliver(m, m.src))
-        remote = [d for d in dests if d != msg.src]
+                return
+            self._first_hop[src][dest].enqueue(_Hop(msg, final_dest=dest))
+            return
+        dests = tuple(dict.fromkeys(dests))  # dedupe, keep order
+        if src in dests:
+            self.sim.post(LOCAL_DELIVERY_LATENCY,
+                          lambda m=msg: self._deliver(m, m.src))
+        remote = [d for d in dests if d != src]
         if not remote:
             return
         if len(remote) == 1:
-            hop = _Hop(msg, final_dest=remote[0])
-            self._forward_unicast(hop, msg.src)
+            dest = remote[0]
+            self._first_hop[src][dest].enqueue(_Hop(msg, final_dest=dest))
         else:
-            tree = self.topology.multicast_tree(msg.src, remote)
+            tree = self.routing.multicast_tree(src, tuple(remote))
             hop = _Hop(msg, tree=tree, deliver_set=frozenset(remote))
-            self._fanout(hop, msg.src)
+            self._fanout(hop, src)
 
     # ------------------------------------------------------------------
-    def _forward_unicast(self, hop: _Hop, node: int) -> None:
-        next_node = self.topology.next_hop(node, hop.final_dest)
-        self._links[(node, next_node)].enqueue(hop)
-
     def _fanout(self, hop: _Hop, node: int) -> None:
         """Send multicast copies down each tree edge out of ``node``.
 
         Children share the original message but get their own hop record
         per tree edge, so bandwidth is charged once per edge.
         """
-        for child in hop.tree.get(node, ()):
-            self._links[(node, child)].enqueue(
-                _Hop(hop.inner, tree=hop.tree, deliver_set=hop.deliver_set))
-
-    def _arrive(self, hop: _Hop, node: int) -> None:
-        if hop.tree is None:
-            if node == hop.final_dest:
-                self._deliver(hop.inner, node)
-            else:
-                self._forward_unicast(hop, node)
-            return
-        if node in hop.deliver_set:
-            self._deliver(hop.inner, node)
-        self._fanout(hop, node)
+        children = hop.tree.get(node)
+        if children:
+            inner, tree, deliver = hop.inner, hop.tree, hop.deliver_set
+            row = self._link_at[node]
+            for child in children:
+                row[child].enqueue(
+                    _Hop(inner, tree=tree, deliver_set=deliver))
 
     def _deliver(self, msg: Message, node: int) -> None:
-        handler = self._endpoints.get(node)
+        handler = self._endpoints[node]
         if handler is None:
             raise RuntimeError(f"no endpoint registered at node {node}")
         handler(msg)
 
     # ------------------------------------------------------------------
     def utilization(self) -> float:
-        """Mean fraction of elapsed cycles each link spent transmitting."""
-        if self.sim.now == 0 or not self._links:
+        """Mean fraction of elapsed cycles each link spent transmitting.
+
+        Only *elapsed* busy cycles count: a transmission still on the
+        wire contributes the cycles up to ``sim.now``, not its full
+        serialization duration, so the figure is bounded by 1.0 even
+        when the run ends mid-transmission.
+        """
+        now = self.sim.now
+        if now == 0 or not self._links:
             return 0.0
-        total = sum(link.busy_cycles for link in self._links.values())
-        return total / (len(self._links) * self.sim.now)
+        total = 0
+        for link in self._links:
+            busy = link.busy_cycles
+            overhang = link.busy_until - now
+            if overhang > 0:
+                busy -= overhang
+            total += busy
+        return total / (len(self._links) * now)
 
 
 #: Backward-compatible alias (the torus was originally the only fabric).
@@ -243,6 +386,8 @@ class RandomDelayNetwork(NetworkInterface):
     """Adversarial network: random unordered delays, optional drops.
 
     Used by correctness tests; charges traffic per logical destination.
+    Local delivery (``dest == msg.src``) never traverses the fabric, so
+    it is never dropped, never metered, and never consumes randomness.
     """
 
     def __init__(self, sim: Simulator, num_nodes: int, rng: random.Random,
@@ -270,16 +415,23 @@ class RandomDelayNetwork(NetworkInterface):
         msg.inject_time = self.sim.now
         self.meter.record_message(msg.msg_class)
         for dest in dict.fromkeys(msg.dests):
+            if dest == msg.src:
+                # The local slice is reached without entering the
+                # fabric: fixed latency, no drop roll, no traffic.
+                handler = self._endpoints.get(dest)
+                if handler is None:
+                    raise RuntimeError(
+                        f"no endpoint registered at node {dest}")
+                self.sim.post(LOCAL_DELIVERY_LATENCY,
+                              lambda m=msg, h=handler: h(m))
+                continue
             if (msg.priority == Priority.BEST_EFFORT
                     and self.rng.random() < self.best_effort_drop_prob):
                 self.meter.record_drop(msg.size_bytes)
                 continue
-            if dest == msg.src:
-                delay = LOCAL_DELIVERY_LATENCY
-            else:
-                delay = self.rng.randint(self.min_delay, self.max_delay)
-                self.meter.record_traversal(msg.msg_class, msg.size_bytes)
+            delay = self.rng.randint(self.min_delay, self.max_delay)
+            self.meter.record_traversal(msg.msg_class, msg.size_bytes)
             handler = self._endpoints.get(dest)
             if handler is None:
                 raise RuntimeError(f"no endpoint registered at node {dest}")
-            self.sim.schedule(delay, lambda m=msg, h=handler: h(m))
+            self.sim.post(delay, lambda m=msg, h=handler: h(m))

@@ -115,6 +115,64 @@ class Topology:
     def tree_edge_count(children: Dict[int, List[int]]) -> int:
         return sum(len(kids) for kids in children.values())
 
+    # ------------------------------------------------------------------
+    def build_routing(self) -> "RoutingTables":
+        """Precompute this fabric's routing into dense per-run tables."""
+        return RoutingTables(self)
+
+
+class RoutingTables:
+    """Dense routing tables for one topology, built once per run.
+
+    The per-hop routing functions above are pure: ``next_hop`` depends
+    only on ``(node, dest)`` and ``multicast_tree`` only on
+    ``(src, dests)``.  The switched network used to re-evaluate them on
+    every hop of every message — coordinate arithmetic and dict probes
+    in the hottest loop of the simulator.  This class pins them down
+    instead:
+
+    * :attr:`next_hop` — ``next_hop[node][dest]`` is the neighbour
+      ``node`` forwards to on the way to ``dest`` (``node`` itself on
+      the diagonal), an N x N list-of-lists filled eagerly from the
+      topology's routing function, so forwarding is two list indexes.
+    * :meth:`multicast_tree` — fan-out trees memoized per
+      ``(src, dests)``.  Coherence protocols multicast to a small set
+      of recurring destination sets (broadcast-to-all, predicted
+      sharers), so after warm-up every multicast is one dict probe.
+
+    Tables are *derived from* the topology's own methods, never
+    reimplemented, so they are exact by construction — including
+    subclass overrides like :class:`FullyConnected`'s star trees.
+    """
+
+    __slots__ = ("topology", "num_nodes", "next_hop", "_trees")
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        n = topology.num_nodes
+        self.num_nodes = n
+        hop = topology.next_hop
+        self.next_hop: List[List[int]] = [
+            [hop(node, dest) if dest != node else node for dest in range(n)]
+            for node in range(n)
+        ]
+        self._trees: Dict[Tuple[int, Tuple[int, ...]],
+                          Dict[int, List[int]]] = {}
+
+    def multicast_tree(self, src: int,
+                       dests: Tuple[int, ...]) -> Dict[int, List[int]]:
+        """Memoized ``topology.multicast_tree(src, dests)``.
+
+        ``dests`` must be a tuple (it keys the memo); destination order
+        matters to tree construction, so the key preserves it.
+        """
+        key = (src, dests)
+        tree = self._trees.get(key)
+        if tree is None:
+            tree = self.topology.multicast_tree(src, dests)
+            self._trees[key] = tree
+        return tree
+
 
 class _Grid2D(Topology):
     """Shared geometry for ``width`` x ``height`` grids, row-major."""

@@ -49,7 +49,7 @@ MSG_CLASS: Dict[MsgType, MsgClass] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class Mshr:
     """The single outstanding miss of a core."""
 
@@ -132,7 +132,7 @@ class Node:
                       msg_class=MSG_CLASS[payload.mtype],
                       priority=priority, payload=payload)
         if delay > 0:
-            self.sim.schedule(delay, lambda: self.network.send(msg))
+            self.sim.post(delay, lambda: self.network.send(msg))
         else:
             self.network.send(msg)
 
@@ -169,7 +169,7 @@ class CacheControllerBase(Node):
         if line is not None and self._is_hit(line, is_write):
             self.stats.add("hits")
             self._apply_access(line, is_write)
-            self.sim.schedule(self.config.cache_latency, done)
+            self.sim.post(self.config.cache_latency, done)
             return
         self.stats.add("misses")
         self.stats.add("write_misses" if is_write else "read_misses")
@@ -178,8 +178,8 @@ class CacheControllerBase(Node):
                     txn_id=next_txn_id(), issue_time=self.sim.now,
                     done_callback=done)
         self.mshr = mshr
-        self.sim.schedule(self.config.cache_latency,
-                          lambda: self._maybe_issue(mshr))
+        self.sim.post(self.config.cache_latency,
+                      lambda: self._maybe_issue(mshr))
 
     def _maybe_issue(self, mshr: Mshr) -> None:
         """Issue the miss unless it already completed (tokens redirected
@@ -233,7 +233,7 @@ class CacheControllerBase(Node):
         latency = self.sim.now - mshr.issue_time
         self.miss_latency.add(latency)
         self.rtt_ewma.add(latency)
-        self.sim.schedule(0, mshr.done_callback)
+        self.sim.post(0, mshr.done_callback)
 
     # -- subclass hooks ---------------------------------------------------
     def _issue_miss(self, mshr: Mshr) -> None:
@@ -275,8 +275,8 @@ class HomeControllerBase(Node):
             return
         self._busy[block] = payload
         self.stats.add("activations")
-        self.sim.schedule(self.config.directory_latency,
-                          lambda: self._activate(payload))
+        self.sim.post(self.config.directory_latency,
+                      lambda: self._activate(payload))
 
     def _deactivate(self, block: int) -> None:
         """Finish the active request; start the next queued one, if any."""
@@ -290,8 +290,8 @@ class HomeControllerBase(Node):
                 del self._queues[block]
             self._busy[block] = payload
             self.stats.add("activations")
-            self.sim.schedule(self.config.directory_latency,
-                              lambda: self._activate(payload))
+            self.sim.post(self.config.directory_latency,
+                          lambda: self._activate(payload))
 
     # -- subclass hooks ---------------------------------------------------
     def _activate(self, payload: CoherenceMsg) -> None:

@@ -54,6 +54,16 @@ class DirectoryCache(CacheControllerBase):
     def __init__(self, node_id, sim, network, config) -> None:
         super().__init__(node_id, sim, network, config)
         self.wb_buffer: Dict[int, WbEntry] = {}
+        # Message dispatch table, built once (handle_message is hot).
+        self._dispatch = {
+            MsgType.FWD_GETS: self._on_fwd_gets,
+            MsgType.FWD_GETM: self._on_fwd_getm,
+            MsgType.INV: self._on_inv,
+            MsgType.DATA: self._on_data,
+            MsgType.ACK: self._on_ack,
+            MsgType.ACK_COUNT: self._on_ack_count,
+            MsgType.WB_ACK: self._on_wb_ack,
+        }
 
     # -- miss path -------------------------------------------------------
     def _issue_miss(self, mshr: Mshr) -> None:
@@ -67,15 +77,7 @@ class DirectoryCache(CacheControllerBase):
     # -- message dispatch --------------------------------------------------
     def handle_message(self, msg) -> None:
         payload: CoherenceMsg = msg.payload
-        handler = {
-            MsgType.FWD_GETS: self._on_fwd_gets,
-            MsgType.FWD_GETM: self._on_fwd_getm,
-            MsgType.INV: self._on_inv,
-            MsgType.DATA: self._on_data,
-            MsgType.ACK: self._on_ack,
-            MsgType.ACK_COUNT: self._on_ack_count,
-            MsgType.WB_ACK: self._on_wb_ack,
-        }.get(payload.mtype)
+        handler = self._dispatch.get(payload.mtype)
         if handler is None:
             raise ProtocolError(
                 f"directory cache {self.node_id}: unexpected "

@@ -42,6 +42,15 @@ class TokenBCache(CacheControllerBase):
         # Persistent-request table: block -> starving requester node.
         self.persistent_table: Dict[int, int] = {}
         self._retry_generation = 0
+        # Message dispatch table, built once (handle_message is hot).
+        self._dispatch = {
+            MsgType.GETS: self._on_transient,
+            MsgType.GETM: self._on_transient,
+            MsgType.DATA: self._on_tokens,
+            MsgType.ACK: self._on_tokens,
+            MsgType.PERSISTENT_ACTIVATE: self._on_persistent_activate,
+            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_deactivate,
+        }
 
     # ------------------------------------------------------------------
     # Miss issue, reissue, and persistent escalation
@@ -75,8 +84,8 @@ class TokenBCache(CacheControllerBase):
     def _arm_retry_timer(self, mshr: Mshr) -> None:
         self._retry_generation += 1
         generation = self._retry_generation
-        self.sim.schedule(self._retry_interval(mshr.retries),
-                          lambda: self._retry_fired(mshr.txn_id, generation))
+        self.sim.post(self._retry_interval(mshr.retries),
+                      lambda: self._retry_fired(mshr.txn_id, generation))
 
     def _retry_fired(self, txn_id: int, generation: int) -> None:
         mshr = self.mshr
@@ -123,14 +132,7 @@ class TokenBCache(CacheControllerBase):
     # ------------------------------------------------------------------
     def handle_message(self, msg) -> None:
         payload: CoherenceMsg = msg.payload
-        handler = {
-            MsgType.GETS: self._on_transient,
-            MsgType.GETM: self._on_transient,
-            MsgType.DATA: self._on_tokens,
-            MsgType.ACK: self._on_tokens,
-            MsgType.PERSISTENT_ACTIVATE: self._on_persistent_activate,
-            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_deactivate,
-        }.get(payload.mtype)
+        handler = self._dispatch.get(payload.mtype)
         if handler is None:
             raise ProtocolError(
                 f"tokenb cache {self.node_id}: unexpected "

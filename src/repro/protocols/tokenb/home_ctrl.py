@@ -34,6 +34,14 @@ class TokenBHome(Node):
         # Persistent arbitration: one active starver per block + FIFO.
         self._active: Dict[int, CoherenceMsg] = {}
         self._queues: Dict[int, List[CoherenceMsg]] = {}
+        # Message dispatch table, built once (handle_message is hot).
+        self._dispatch = {
+            MsgType.GETS: self._on_request,
+            MsgType.GETM: self._on_request,
+            MsgType.TOKEN_WB: self._on_token_wb,
+            MsgType.PERSISTENT_REQ: self._on_persistent_req,
+            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_done,
+        }
 
     def tokens_at(self, block: int) -> TokenCount:
         if block not in self._tokens:
@@ -43,13 +51,7 @@ class TokenBHome(Node):
     # -- message dispatch ---------------------------------------------------
     def handle_message(self, msg) -> None:
         payload: CoherenceMsg = msg.payload
-        handler = {
-            MsgType.GETS: self._on_request,
-            MsgType.GETM: self._on_request,
-            MsgType.TOKEN_WB: self._on_token_wb,
-            MsgType.PERSISTENT_REQ: self._on_persistent_req,
-            MsgType.PERSISTENT_DEACTIVATE: self._on_persistent_done,
-        }.get(payload.mtype)
+        handler = self._dispatch.get(payload.mtype)
         if handler is None:
             raise ProtocolError(
                 f"tokenb home {self.node_id}: unexpected "

@@ -1,12 +1,28 @@
 """Discrete-event simulation kernel.
 
-The whole simulator is built on a single event queue.  Events are
-``(time, priority, sequence, callback)`` tuples; ties on time break first on
-priority (lower runs first) and then on insertion sequence, which makes every
-run fully deterministic for a given seed and configuration.
+The whole simulator is built on a single binary heap.  Heap entries are
+``(time, priority, sequence, payload)`` tuples; ties on time break first
+on priority (lower runs first) and then on insertion sequence, which
+makes every run fully deterministic for a given seed and configuration.
+Because the sequence number is unique, tuple comparison never reaches
+the payload — the heap never calls back into Python-level ``__lt__``,
+which is what makes the queue fast.
 
-The kernel knows nothing about coherence; protocol controllers, link servers
-and cores all schedule plain callbacks.
+Two scheduling entry points share that heap:
+
+* :meth:`Simulator.schedule` allocates an :class:`Event` handle so the
+  caller can cancel it later (used by timers such as PATCH's tenure
+  timeout).
+* :meth:`Simulator.post` is the fire-and-forget fast path: it pushes
+  the bare callback with no handle allocation.  The interconnect and
+  cores schedule hundreds of thousands of uncancellable callbacks per
+  run; skipping the per-event object is a measurable win.
+
+Both assign sequence numbers from the same counter, so mixing them
+never changes the tie-break order relative to an all-``schedule`` run.
+
+The kernel knows nothing about coherence; protocol controllers, link
+servers and cores all schedule plain callbacks.
 """
 
 from __future__ import annotations
@@ -14,13 +30,16 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an illegal condition."""
 
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
     Holding on to the returned event allows cancellation (used by timers
     such as PATCH's tenure timeout).
@@ -60,7 +79,7 @@ class Simulator:
     >>> sim = Simulator()
     >>> order = []
     >>> _ = sim.schedule(5, lambda: order.append("b"))
-    >>> _ = sim.schedule(1, lambda: order.append("a"))
+    >>> sim.post(1, lambda: order.append("a"))
     >>> sim.run()
     >>> order
     ['a', 'b']
@@ -73,13 +92,14 @@ class Simulator:
     COMPACTION_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list = []    # (time, priority, seq, Event | callback)
         self._seq = 0
         self.now: int = 0
         self._events_processed = 0
         self._stopped = False
         self._live = 0            # non-cancelled events in the queue
         self._cancelled = 0       # cancelled events still in the queue
+        self._current_seq = -1    # seq of the event being dispatched
 
     @property
     def events_processed(self) -> int:
@@ -87,15 +107,58 @@ class Simulator:
 
     def schedule(self, delay: int, callback: Callable[[], None],
                  priority: int = 0) -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        """Schedule ``callback`` ``delay`` cycles from now; cancellable."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        event = Event(self.now + int(delay), priority, self._seq, callback)
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback)
         event._sim = self
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        _heappush(self._queue, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def post(self, delay: int, callback: Callable[[], None],
+             priority: int = 0) -> None:
+        """Schedule ``callback`` with no cancellation handle (fast path).
+
+        Identical ordering semantics to :meth:`schedule` — same clock,
+        same priority rules, same sequence counter — minus the
+        :class:`Event` allocation.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self.now + int(delay), priority, seq,
+                                callback))
+        self._live += 1
+
+    def reserve_seq(self) -> int:
+        """Claim the next sequence number without queueing anything.
+
+        Lets a caller hold open the tie-break slot an event *would* have
+        occupied and materialize it later (or never) via
+        :meth:`post_reserved`.  The link scheduler uses this to elide
+        provably-no-op events while keeping the event order bit-identical
+        to an engine that scheduled them: sequence numbers only ever
+        break ties, so an unused gap is invisible.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def post_reserved(self, time: int, seq: int,
+                      callback: Callable[[], None],
+                      priority: int = 0) -> None:
+        """Queue ``callback`` at an absolute ``time`` under a sequence
+        number previously claimed with :meth:`reserve_seq`."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past (t={time} < now={self.now})")
+        _heappush(self._queue, (time, priority, seq, callback))
+        self._live += 1
 
     def schedule_at(self, time: int, callback: Callable[[], None],
                     priority: int = 0) -> Event:
@@ -122,11 +185,21 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled events from the heap and re-heapify."""
-        for event in self._queue:
-            if event.cancelled:
-                event._sim = None
-        self._queue = [e for e in self._queue if not e.cancelled]
+        """Drop cancelled events from the heap and re-heapify.
+
+        Mutates the heap list *in place*: run() holds a local alias to
+        it, and compaction can fire mid-run from a callback that cancels
+        events — rebinding ``self._queue`` would detach the running loop
+        from the live heap.
+        """
+        keep = []
+        for entry in self._queue:
+            payload = entry[3]
+            if payload.__class__ is Event and payload.cancelled:
+                payload._sim = None
+            else:
+                keep.append(entry)
+        self._queue[:] = keep
         heapq.heapify(self._queue)
         self._cancelled = 0
 
@@ -138,26 +211,34 @@ class Simulator:
         it raises :class:`SimulationError`.
         """
         self._stopped = False
+        queue = self._queue
+        pop = _heappop
+        event_cls = Event
         processed = 0
-        while self._queue and not self._stopped:
-            event = self._queue[0]
-            if until is not None and event.time > until:
-                self.now = until
-                return
-            heapq.heappop(self._queue)
-            event._sim = None  # no longer queued; late cancel() is a no-op
-            if event.cancelled:
-                self._cancelled -= 1
-                continue
-            self._live -= 1
-            if event.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue time went backwards")
-            self.now = event.time
-            event.callback()
-            self._events_processed += 1
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; possible livelock")
-        if until is not None and not self._stopped:
-            self.now = max(self.now, until)
+        try:
+            while queue and not self._stopped:
+                head = queue[0]
+                if until is not None and head[0] > until:
+                    self.now = until
+                    return
+                time, _priority, seq, payload = pop(queue)
+                if payload.__class__ is event_cls:
+                    payload._sim = None  # late cancel() becomes a no-op
+                    if payload.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    callback = payload.callback
+                else:
+                    callback = payload
+                self._live -= 1
+                self.now = time
+                self._current_seq = seq
+                callback()
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible livelock")
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        finally:
+            self._events_processed += processed

@@ -121,19 +121,32 @@ class Histogram:
         self.stat.add(value)
 
     def percentile(self, p: float) -> float:
-        """Approximate percentile from bucket midpoints (p in [0, 100])."""
+        """Approximate percentile from bucket midpoints (p in [0, 100]).
+
+        Values beyond the histogram's range are clamped into the last
+        (overflow) bucket; reporting that bucket's *midpoint* would
+        silently bound any tail percentile by
+        ``bucket_width * max_buckets``, so the overflow bucket reports
+        the observed maximum instead (tracked exactly in ``self.stat``).
+        """
         if not 0 <= p <= 100:
             raise ValueError("p must be in [0, 100]")
         total = self.stat.count
         if total == 0:
             return 0.0
         target = total * p / 100.0
+        overflow = self.max_buckets - 1
         seen = 0
         for index in sorted(self.buckets):
             seen += self.buckets[index]
             if seen >= target:
+                if index == overflow:
+                    return float(self.stat.max)
                 return (index + 0.5) * self.bucket_width
-        return (max(self.buckets) + 0.5) * self.bucket_width
+        index = max(self.buckets)
+        if index == overflow:  # pragma: no cover - loop covers totals
+            return float(self.stat.max)
+        return (index + 0.5) * self.bucket_width
 
 
 class StatGroup:
@@ -143,12 +156,17 @@ class StatGroup:
         self._counters: Dict[str, Counter] = {}
 
     def counter(self, name: str) -> Counter:
-        if name not in self._counters:
-            self._counters[name] = Counter(name)
-        return self._counters[name]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
 
     def add(self, name: str, amount: int = 1) -> None:
-        self.counter(name).add(amount)
+        # Inlined counter(): controllers bump counters on every message.
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        counter.value += amount
 
     def value(self, name: str) -> int:
         return self._counters[name].value if name in self._counters else 0

@@ -26,6 +26,11 @@ class MsgClass(Enum):
     DEACTIVATION = "deactivation"
     WRITEBACK = "writeback"
 
+    # Members are singletons compared by identity, so the identity hash
+    # is equivalent to Enum's name-based hash — but C-speed.  Meter
+    # dicts are keyed by MsgClass on the per-traversal hot path.
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 

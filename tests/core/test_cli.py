@@ -171,7 +171,8 @@ def _documented_invocations(text):
             yield match.group(1), re.findall(r"--[a-z][a-z-]*", line), line
 
 
-@pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md"])
+@pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md",
+                                 "docs/PERFORMANCE.md"])
 def test_documented_cli_recipes_exist(doc):
     """Anti-drift: every `repro` invocation in the docs must parse."""
     subcommands = _subcommands()
@@ -210,3 +211,31 @@ def test_bench_command_writes_report(tmp_path, capsys, monkeypatch):
     assert out.exists()
     assert (tmp_path / "results" / "fig4_runtime.txt").exists()
     assert "headline" in capsys.readouterr().out
+
+
+def test_bench_perf_command_merges_engine_report(tmp_path, monkeypatch):
+    import repro.bench as bench_mod
+
+    def tiny_perf(quick=False):
+        return {"scale": "quick" if quick else "full",
+                "kernel_events_per_second": 123.0,
+                "cells": {"PATCH-All": {
+                    "wall_seconds": 0.1, "events_per_second": 10.0,
+                    "cycles_per_second": 10.0, "runtime_cycles": 42,
+                    "traffic_total_bytes": 7,
+                    "dropped_direct_requests": 0}}}
+
+    monkeypatch.setattr(bench_mod, "engine_perf_results", tiny_perf)
+    out = tmp_path / "bench_results.json"
+    code = main(["bench", "--perf", "--quick", "--out", str(out)])
+    assert code == 0
+    import json
+    report = json.loads(out.read_text())
+    assert report["engine_perf"]["kernel_events_per_second"] == 123.0
+    assert "PATCH-All" in report["engine_perf"]["cells"]
+
+
+def test_bench_update_goldens_requires_perf(capsys):
+    code = main(["bench", "--update-goldens"])
+    assert code == 2
+    assert "--perf" in capsys.readouterr().err

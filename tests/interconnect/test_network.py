@@ -182,6 +182,36 @@ def test_utilization_tracks_busy_links():
     assert net.utilization() > 0
 
 
+def test_utilization_counts_only_elapsed_cycles_mid_transmission():
+    """Regression: busy_cycles charges the whole serialization duration
+    at service start, so a run observed mid-transmission used to count
+    cycles that had not elapsed — and a single-link fabric could report
+    utilization above 1.0."""
+    sim = Simulator()
+    from repro.interconnect.topology import FullyConnected
+    net = TorusNetwork(sim, FullyConnected(2), bandwidth=1, hop_latency=1,
+                       drop_age=None)
+    collect_endpoints(net, range(2))
+    net.send(msg(0, [1], size=10_000))  # 10k cycles on the wire
+    sim.run(until=10)                   # stop 0.1% into the transmission
+    assert sim.now == 10
+    assert net.utilization() <= 1.0
+    # The one busy link of two was busy for all 10 elapsed cycles.
+    assert net.utilization() == pytest.approx(0.5)
+
+
+def test_utilization_full_transmission_unchanged():
+    """Completed transmissions still charge their full duration."""
+    sim = Simulator()
+    from repro.interconnect.topology import FullyConnected
+    net = TorusNetwork(sim, FullyConnected(2), bandwidth=1, hop_latency=1,
+                       drop_age=None)
+    collect_endpoints(net, range(2))
+    net.send(msg(0, [1], size=100))
+    sim.run()  # 100 cycles serialization + 1 hop => now == 101
+    assert net.utilization() == pytest.approx(100 / (2 * sim.now))
+
+
 # ---------------------------------------------------------------------------
 # RandomDelayNetwork (adversarial model)
 # ---------------------------------------------------------------------------
@@ -222,3 +252,35 @@ def test_random_network_never_drops_normal():
     net.send(msg(0, [1]))
     sim.run()
     assert len(log) == 1
+
+
+def test_random_network_never_drops_local_delivery():
+    """Regression: the local (dest == src) leg never enters the fabric,
+    so even a 100%-drop adversarial network must deliver it — and must
+    not meter a drop for it."""
+    sim = Simulator()
+    net = RandomDelayNetwork(sim, 2, random.Random(1),
+                             best_effort_drop_prob=1.0)
+    log = []
+    net.register_endpoint(0, lambda m: log.append((sim.now, 0)))
+    net.register_endpoint(1, lambda m: log.append((sim.now, 1)))
+    net.send(msg(0, [0], priority=Priority.BEST_EFFORT))
+    sim.run()
+    assert log == [(LOCAL_DELIVERY_LATENCY, 0)]
+    assert net.meter.dropped_messages == 0
+    assert net.meter.total_bytes == 0  # local legs charge no traffic
+
+
+def test_random_network_multicast_self_leg_immune_to_drops():
+    """A best-effort multicast that includes the sender: remote copies
+    may drop, the local copy may not."""
+    sim = Simulator()
+    net = RandomDelayNetwork(sim, 3, random.Random(7),
+                             best_effort_drop_prob=1.0)
+    delivered = []
+    for node in range(3):
+        net.register_endpoint(node, lambda m, n=node: delivered.append(n))
+    net.send(msg(0, [0, 1, 2], priority=Priority.BEST_EFFORT))
+    sim.run()
+    assert delivered == [0]
+    assert net.meter.dropped_messages == 2

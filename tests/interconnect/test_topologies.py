@@ -166,3 +166,47 @@ def test_mean_hops_estimates_order_sensibly():
     assert (mean_hops_estimate("fully-connected", (4, 4))
             < mean_hops_estimate("torus", (4, 4))
             < mean_hops_estimate("mesh", (4, 4)))
+
+
+# ---------------------------------------------------------------------------
+# Precomputed routing tables
+# ---------------------------------------------------------------------------
+
+def _all_topologies():
+    return [make_topology("torus", 16, (4, 4)),
+            make_topology("mesh", 16, (4, 4)),
+            make_topology("fully-connected", 16, (4, 4))]
+
+
+def test_routing_tables_match_per_hop_routing_exactly():
+    """The dense next-hop table must agree with the topology's own
+    routing function on every (node, dest) pair — the switched network
+    routes from the table alone."""
+    for topology in _all_topologies():
+        tables = topology.build_routing()
+        n = topology.num_nodes
+        for node in range(n):
+            for dest in range(n):
+                expected = (node if dest == node
+                            else topology.next_hop(node, dest))
+                assert tables.next_hop[node][dest] == expected, (
+                    type(topology).__name__, node, dest)
+
+
+def test_routing_tables_memoize_multicast_trees():
+    for topology in _all_topologies():
+        tables = topology.build_routing()
+        dests = (3, 7, 12)
+        first = tables.multicast_tree(0, dests)
+        assert first == topology.multicast_tree(0, dests)
+        # Same key returns the cached object, not a rebuild.
+        assert tables.multicast_tree(0, dests) is first
+        # Destination order is part of the key (it shapes the tree).
+        reordered = tables.multicast_tree(0, (12, 7, 3))
+        assert reordered is not first
+
+
+def test_routing_tables_respect_subclass_tree_overrides():
+    fc = make_topology("fully-connected", 8, (8, 1))
+    tables = fc.build_routing()
+    assert tables.multicast_tree(2, (0, 5, 7)) == {2: [0, 5, 7]}

@@ -39,7 +39,7 @@ def isolate(system):
     directly and only inspect what it *sends*; the handcrafted probes
     would otherwise trigger responses at caches holding no matching
     state."""
-    for node in list(system.network._endpoints):
+    for node in range(len(system.network._endpoints)):
         system.network._endpoints[node] = lambda msg: None
 
 

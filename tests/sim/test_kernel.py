@@ -207,3 +207,113 @@ def test_zero_delay_event_runs_at_current_time():
     sim.schedule(9, outer)
     sim.run()
     assert times == [9]
+
+
+# ---------------------------------------------------------------------------
+# Fast-path scheduling (post / reserve_seq)
+# ---------------------------------------------------------------------------
+
+def test_post_orders_with_schedule_by_shared_sequence():
+    """post() and schedule() draw from one sequence counter, so mixing
+    them never changes tie-break order."""
+    sim = Simulator()
+    order = []
+    sim.schedule(3, lambda: order.append("a"))
+    sim.post(3, lambda: order.append("b"))
+    sim.schedule(3, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_post_respects_priority():
+    sim = Simulator()
+    order = []
+    sim.post(3, lambda: order.append("low"), priority=1)
+    sim.post(3, lambda: order.append("high"), priority=0)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_post_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.post(-1, lambda: None)
+
+
+def test_post_counts_as_live_and_processed():
+    sim = Simulator()
+    sim.post(1, lambda: None)
+    sim.post(2, lambda: None)
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+    assert sim.events_processed == 2
+
+
+def test_reserved_seq_materializes_in_original_tie_break_slot():
+    """An event posted under a reserved sequence number beats same-time
+    events whose sequence numbers were drawn later."""
+    sim = Simulator()
+    order = []
+    reserved = sim.reserve_seq()
+    sim.post(5, lambda: order.append("later-seq"))
+    sim.post_reserved(5, reserved, lambda: order.append("reserved"))
+    sim.run()
+    assert order == ["reserved", "later-seq"]
+
+
+def test_reserved_seq_gap_is_harmless_when_unused():
+    sim = Simulator()
+    order = []
+    sim.reserve_seq()  # claimed, never materialized
+    sim.post(1, lambda: order.append("x"))
+    sim.run()
+    assert order == ["x"]
+    assert sim.pending() == 0
+
+
+def test_post_reserved_in_past_rejected():
+    sim = Simulator()
+    sim.post(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post_reserved(5, sim.reserve_seq(), lambda: None)
+
+
+def test_mixed_post_and_cancelled_events_compact_cleanly():
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 4
+    fired = []
+    for i in range(8):
+        sim.post(100 + i, lambda i=i: fired.append(i))
+    timers = [sim.schedule(50, lambda: fired.append("timer"))
+              for _ in range(16)]
+    for timer in timers:
+        timer.cancel()
+    sim.run()
+    assert fired == list(range(8))
+
+
+def test_mid_run_compaction_keeps_live_heap():
+    """Regression: _compact() fired from a callback must mutate the heap
+    in place — run() holds a local alias to the heap list, and a rebind
+    would silently drop everything scheduled after the compaction."""
+    sim = Simulator()
+    sim.COMPACTION_MIN_CANCELLED = 4
+    fired = []
+    timers = [sim.schedule(50, lambda: fired.append("timer"))
+              for _ in range(10)]
+    tail = sim.schedule(100, lambda: fired.append("tail"))
+
+    def boom():
+        for timer in timers:
+            timer.cancel()  # cancelled (10) > live (1) -> compacts mid-run
+        sim.post(5, lambda: fired.append("after-compaction"))
+
+    sim.schedule(1, boom)
+    sim.run()
+    assert fired == ["after-compaction", "tail"]
+    assert sim.pending() == 0
+    sim.run()  # survivors must not be dispatched a second time
+    assert fired == ["after-compaction", "tail"]
+    del tail

@@ -110,6 +110,30 @@ def test_histogram_percentiles():
     assert hist.percentile(100) >= hist.percentile(50)
 
 
+def test_histogram_overflow_bucket_reports_observed_max():
+    """Regression: tail values clamp into the overflow bucket, whose
+    midpoint used to silently bound every percentile by
+    bucket_width * max_buckets (5120 cycles at the defaults)."""
+    hist = Histogram(bucket_width=10, max_buckets=512)
+    for value in range(100):
+        hist.add(value)
+    hist.add(1_000_000)  # pathological tail latency
+    assert hist.percentile(100) == 1_000_000.0
+    assert hist.percentile(99.5) == 1_000_000.0
+    # In-range percentiles still use bucket midpoints.
+    assert hist.percentile(50) == pytest.approx(45.0, abs=10)
+
+
+def test_histogram_overflow_only_for_clamped_tail():
+    """All mass in the overflow bucket: even p1 reports the max rather
+    than a midpoint below every observed value."""
+    hist = Histogram(bucket_width=1, max_buckets=4)
+    hist.add(100)
+    hist.add(200)
+    assert hist.percentile(1) == 200.0
+    assert hist.percentile(100) == 200.0
+
+
 def test_histogram_validates_inputs():
     with pytest.raises(ValueError):
         Histogram(bucket_width=0)
