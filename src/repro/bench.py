@@ -15,8 +15,10 @@ same code:
   plus the derived metrics the benchmark assertions check.
 * :func:`run_bench` drives the whole suite, writing each table to
   ``benchmarks/results/`` and a machine-readable ``bench_results.json``
-  with per-figure wall-clock timings, cache statistics, and the paper's
-  headline comparison (PATCH-All vs. Directory and Token Coherence).
+  with per-figure wall-clock timings, exec-cache hit/miss counts (total
+  and per figure), the paper's headline comparison (PATCH-All vs.
+  Directory and Token Coherence), and the trace-replay identity verdict
+  (recorded traces must replay bit-identically to their live runs).
 * :func:`run_perf` (``repro bench --perf``) is the engine-throughput
   microbench: a pure kernel events/sec figure plus timed single cells
   on the default torus, merged into ``bench_results.json`` so the
@@ -29,10 +31,12 @@ same code:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
@@ -42,7 +46,8 @@ from repro.core.runner import (PAPER_CONFIGS, normalized_runtimes,
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
                                encoding_sweep, scalability_sweep,
                                scenario_matrix)
-from repro.exec import ParallelRunner, get_default_runner
+from repro.exec import ParallelRunner, get_default_runner, make_cell
+from repro.exec.serialization import run_result_to_dict
 from repro.stats.counters import geometric_mean
 from repro.stats.traffic import FIGURE5_ORDER
 from repro.workloads.patterns import PATTERN_NAMES
@@ -94,6 +99,19 @@ class BenchScale:
     scenario_cores: int = 16
     scenario_refs: int = 80
     scenario_seeds: Tuple[int, ...] = (1, 2)
+    # Trace replay: each workload is recorded once and replayed; the
+    # replayed run must be bit-identical to the live one.
+    trace_workloads: Tuple[str, ...] = ("microbench", "migratory")
+    trace_cores: int = 8
+    trace_refs: int = 40
+    trace_seed: int = 1
+
+    def with_seed(self, seed: int) -> "BenchScale":
+        """This scale with the seed-parameterized grids (figures 4-7,
+        the scenario matrix, and the trace row) pinned to one seed.
+        Figures 8-10 run single fixed-seed sweeps and are unaffected."""
+        return replace(self, fig4_seeds=(seed,), bw_seeds=(seed,),
+                       scenario_seeds=(seed,), trace_seed=seed)
 
 
 #: The benchmark suite's scale (regenerates the committed tables).
@@ -125,6 +143,7 @@ QUICK_SCALE = BenchScale(
     enc_refs={16: 80, 32: 40},
     enc_table_blocks={16: 96, 32: 192},
     scenario_cores=8, scenario_refs=40, scenario_seeds=(1,),
+    trace_cores=4, trace_refs=25,
 )
 
 
@@ -175,6 +194,62 @@ def scenario_matrix_results(scale: BenchScale = FULL_SCALE,
                            scale.scenario_topologies,
                            references_per_core=scale.scenario_refs,
                            seeds=scale.scenario_seeds, runner=runner)
+
+
+def trace_replay_results(scale: BenchScale = FULL_SCALE,
+                         runner: Optional[ParallelRunner] = None,
+                         trace_dir: Optional[str] = None):
+    """Record each trace workload once, then run it live and replayed.
+
+    Returns ``{workload: (live RunResult, replayed RunResult)}`` — the
+    pair the trace-replay table diffs.  Replayed cells go through the
+    runner like any other cell, so they exercise the digest-keyed
+    result cache; recording itself costs generator time only (see
+    :func:`repro.traces.record_trace`).  Trace files land in
+    ``trace_dir`` (a temporary directory by default).
+    """
+    from repro.traces import record_trace, save_trace
+
+    runner = runner if runner is not None else get_default_runner()
+    base = SystemConfig(num_cores=scale.trace_cores, protocol="patch",
+                        predictor="all")
+    with contextlib.ExitStack() as stack:
+        if trace_dir is None:
+            out_dir = stack.enter_context(tempfile.TemporaryDirectory())
+        else:
+            out_dir = trace_dir
+            os.makedirs(out_dir, exist_ok=True)
+        cells = []
+        for workload in scale.trace_workloads:
+            path = os.path.join(out_dir, f"{workload}.rpt")
+            save_trace(record_trace(workload, scale.trace_cores,
+                                    scale.trace_refs,
+                                    seed=scale.trace_seed), path)
+            cells.append(make_cell(base, workload, scale.trace_refs,
+                                   scale.trace_seed))
+            cells.append(make_cell(base, "trace", scale.trace_refs,
+                                   scale.trace_seed, path=path))
+        runs = runner.run_cells(cells)
+    return {workload: (runs[2 * i], runs[2 * i + 1])
+            for i, workload in enumerate(scale.trace_workloads)}
+
+
+def render_trace_replay(results):
+    """Trace-replay table + whether every replay matched its live run."""
+    rows = []
+    all_identical = True
+    for workload, (live, replayed) in results.items():
+        identical = (run_result_to_dict(live)
+                     == run_result_to_dict(replayed))
+        all_identical = all_identical and identical
+        rows.append([workload, f"{live.runtime_cycles}",
+                     f"{replayed.runtime_cycles}",
+                     "yes" if identical else "NO"])
+    text = format_table(
+        "Trace replay [PATCH-All]: recorded traces vs live generators "
+        "(replay must be bit-identical)",
+        ["workload", "live cycles", "replay cycles", "identical"], rows)
+    return text, all_identical
 
 
 def encoding_results(num_cores: int, bounded: bool,
@@ -416,27 +491,41 @@ def run_bench(quick: bool = False,
               out_path: str = "bench_results.json",
               check: bool = False,
               scale: Optional[BenchScale] = None,
+              seed: Optional[int] = None,
               echo=print) -> int:
     """Regenerate every figure table; write tables + bench_results.json.
 
     Returns a process exit code: non-zero only when ``check`` is set and
-    the headline assertion fails.  ``scale`` overrides the quick/full
-    selection (tests use this to run a miniature suite).
+    the headline assertion (or the trace-replay identity) fails.
+    ``scale`` overrides the quick/full selection (tests use this to run
+    a miniature suite); ``seed`` (the CLI's ``--seed``) pins the
+    seed-parameterized grids — see :meth:`BenchScale.with_seed`.
     """
     if scale is None:
         scale = QUICK_SCALE if quick else FULL_SCALE
+    if seed is not None:
+        scale = scale.with_seed(seed)
     runner = runner if runner is not None else get_default_runner()
     os.makedirs(results_dir, exist_ok=True)
     timings: Dict[str, float] = {}
     table_paths: List[str] = []
+    # Per-figure exec-cache hit/miss deltas (None when caching is off).
+    cache_by_figure: Dict[str, Dict[str, int]] = {}
+    cache_mark = dict(runner.cache.stats()) if runner.cache else None
 
     def emit(name: str, text: str, elapsed: float) -> None:
+        nonlocal cache_mark
         path = os.path.join(results_dir, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         table_paths.append(path)
         figure = name.split("_")[0]
         timings[figure] = round(elapsed, 6)
+        if cache_mark is not None:
+            stats = runner.cache.stats()
+            cache_by_figure[figure] = {key: stats[key] - cache_mark[key]
+                                       for key in stats}
+            cache_mark = dict(stats)
         echo(f"[{figure:>6}] {elapsed:8.2f}s  -> {path}")
 
     suite_start = time.perf_counter()
@@ -483,35 +572,59 @@ def run_bench(quick: bool = False,
                                   scale.scenario_topologies)
     emit("scenario_matrix", text, time.perf_counter() - start)
 
+    start = time.perf_counter()
+    replay_pairs = trace_replay_results(scale, runner)
+    text, replay_identical = render_trace_replay(replay_pairs)
+    emit("trace_replay", text, time.perf_counter() - start)
+
     total = time.perf_counter() - suite_start
     headline = headline_check(geo)
+    cache_stats = runner.cache.stats() if runner.cache is not None else None
     report = {
         "schema": 1,
         "scale": scale.name,
         "quick": quick,
         "jobs": runner.jobs,
-        "cache": (runner.cache.stats() if runner.cache is not None
-                  else None),
+        "cache": cache_stats,
+        "cache_per_figure": cache_by_figure if cache_stats is not None
+                            else None,
         "cache_dir": (str(runner.cache.root) if runner.cache is not None
                       else None),
         "timings_seconds": timings,
         "total_seconds": round(total, 6),
         "tables": table_paths,
         "headline": headline,
+        "trace_replay": {
+            "identical": replay_identical,
+            "workloads": list(scale.trace_workloads),
+            "cores": scale.trace_cores,
+            "references_per_core": scale.trace_refs,
+        },
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     echo(f"[ total] {total:8.2f}s  -> {out_path}")
+    if cache_stats is not None:
+        echo(f"[ cache] {cache_stats['hits']} hits, "
+             f"{cache_stats['misses']} misses, "
+             f"{cache_stats['stores']} stores "
+             f"({runner.cache.root})")
     echo("headline: PATCH-All geomean "
          f"{headline['patch_all_geomean']:.3f} vs Token Coherence "
          f"{headline['token_coherence_geomean']:.3f} "
          f"({'OK' if headline['ok'] else 'REGRESSION'})")
+    failed = False
     if check and not headline["ok"]:
         echo("headline regression: PATCH-All no longer within noise of "
              "Token Coherence / Directory")
-        return 1
-    return 0
+        failed = True
+    if not replay_identical:
+        echo("trace replay mismatch: a replayed trace no longer "
+             "reproduces its live run bit-for-bit")
+        if check:
+            failed = True
+    return 1 if failed else 0
 
 
 # ---------------------------------------------------------------------------

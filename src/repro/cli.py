@@ -12,21 +12,27 @@ regenerates the paper's experiments from the shell:
     repro fig8
     repro fig9 --cores 64
     repro scenarios --cores 8 --refs 40
+    repro trace record --workload oltp --cores 16 --refs 120 --out oltp.rpt
+    repro trace info oltp.rpt
+    repro trace transform oltp.rpt --fold-cores 8 --out oltp8.rpt
+    repro trace replay oltp8.rpt --protocol directory
+    repro run --trace oltp.rpt --refs 100
     repro bench --quick --jobs 4
     repro bench --perf --check
     repro list
-    repro list-scenarios
+    repro list-scenarios --kind pattern
 
 The figure subcommands print the same tables the benchmark suite
 produces (the benchmarks additionally assert the paper's claims),
 ``repro scenarios`` prints the sharing-pattern x topology ablation
-matrix, ``repro bench`` regenerates the whole figure suite with
-machine-readable timings, and ``repro bench --perf`` runs the
-engine-throughput microbench (``--check`` gates on the committed
-cycle-count goldens).  Experiment subcommands accept ``--jobs``
-(process-pool width, default ``REPRO_JOBS`` or the CPU count),
-``--no-cache``, and ``--cache-dir`` (default ``REPRO_CACHE_DIR`` or
-``~/.cache/repro``).
+matrix, ``repro trace`` records/inspects/transforms/replays access
+traces (see :mod:`repro.traces`), ``repro bench`` regenerates the
+whole figure suite with machine-readable timings, and ``repro bench
+--perf`` runs the engine-throughput microbench (``--check`` gates on
+the committed cycle-count goldens).  Experiment subcommands accept
+``--jobs`` (process-pool width, default ``REPRO_JOBS`` or the CPU
+count), ``--no-cache``, and ``--cache-dir`` (default
+``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
 """
 
 from __future__ import annotations
@@ -51,27 +57,66 @@ from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
 from repro.interconnect.topology import TOPOLOGIES, topology_names
 from repro.workloads.patterns import PATTERN_NAMES
 from repro.workloads.presets import WORKLOAD_NAMES
-from repro.workloads.registry import workload_specs
+from repro.workloads.registry import WORKLOAD_KINDS, workload_specs
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+#: Workloads runnable by bare name (the "trace" replayer needs a file,
+#: which ``repro run --trace`` / ``repro trace replay`` supply).
+RUNNABLE_WORKLOADS = sorted(name for name in WORKLOAD_NAMES
+                            if name != "trace")
+
+
+def _add_common(parser: argparse.ArgumentParser,
+                refs_default: Optional[int] = 100) -> None:
     parser.add_argument("--cores", type=int, default=16,
                         help="number of cores (default 16)")
-    parser.add_argument("--refs", type=int, default=100,
-                        help="references per core (default 100)")
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--refs", type=_nonneg_int, default=refs_default,
+                        help="references per core (default 100"
+                             + (", or the recorded length with --trace)"
+                                if refs_default is None else ")"))
+    parser.add_argument("--seed", type=_seed_value, default=1)
     parser.add_argument("--workload", default="oltp",
-                        choices=sorted(WORKLOAD_NAMES))
+                        choices=RUNNABLE_WORKLOADS)
 
 
-def _positive_int(text: str) -> int:
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
-    if value < 1:
-        raise argparse.ArgumentTypeError("must be >= 1")
-    return value
+def _int_at_least(minimum: int, what: str = "value"):
+    """Argparse type: an integer bounded below, with a named error."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{what} must be >= {minimum}, got {value}")
+        return value
+    return parse
+
+
+_positive_int = _int_at_least(1)
+_nonneg_int = _int_at_least(0)
+#: Seeds must be non-negative ints: generators derive per-core RNG
+#: streams from them, and a negative seed silently propagating into a
+#: generator is a typo, not an experiment.
+_seed_value = _int_at_least(0, "seed")
+
+
+def _resolve_trace_refs(path: str, refs: Optional[int]):
+    """``(meta, refs)`` for replaying a trace file.
+
+    ``refs=None`` means the full recorded length; asking for more than
+    was recorded raises ``ValueError`` (callers render it as a clean
+    CLI error).
+    """
+    from repro.traces import trace_shape
+    meta, recorded = trace_shape(path)
+    if refs is None:
+        refs = recorded
+    elif refs > recorded:
+        raise ValueError(
+            f"--refs {refs} exceeds the recorded length ({recorded} "
+            f"references per core in {path})")
+    return meta, refs
 
 
 def _add_exec_options(parser: argparse.ArgumentParser) -> None:
@@ -107,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation")
-    _add_common(run)
+    _add_common(run, refs_default=None)
     _add_exec_options(run)
     run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
     run.add_argument("--predictor", default="all", choices=PREDICTORS)
@@ -120,12 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="sharer-encoding coarseness (cores per bit)")
     run.add_argument("--non-adaptive", action="store_true",
                      help="guaranteed (not best-effort) direct requests")
+    run.add_argument("--trace", default=None, metavar="FILE",
+                     help="replay a recorded access trace instead of a "
+                          "generator (--workload/--cores are then taken "
+                          "from the trace; --refs defaults to the recorded "
+                          "length and must not exceed it)")
 
     fig4 = sub.add_parser("fig4", help="Figure 4/5: runtime and traffic "
                                        "across protocol configurations")
     _add_common(fig4)
     _add_exec_options(fig4)
     fig4.add_argument("--workloads", nargs="+",
+                      choices=RUNNABLE_WORKLOADS,
                       default=["jbb", "oltp", "apache", "barnes", "ocean"])
 
     fig6 = sub.add_parser("fig6", help="Figure 6/7: bandwidth adaptivity")
@@ -141,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig9.add_argument("--cores", type=int, default=64)
     fig9.add_argument("--refs", type=int, default=20)
     fig9.add_argument("--bandwidth", type=float, default=2.0)
-    fig9.add_argument("--seed", type=int, default=1)
+    fig9.add_argument("--seed", type=_seed_value, default=1)
 
     scenarios = sub.add_parser(
         "scenarios", help="cross-scenario ablation: sharing patterns x "
@@ -151,10 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="number of cores (default 8)")
     scenarios.add_argument("--refs", type=int, default=40,
                            help="references per core (default 40)")
-    scenarios.add_argument("--seed", type=int, default=1)
+    scenarios.add_argument("--seed", type=_seed_value, default=1)
     scenarios.add_argument("--workloads", nargs="+",
                            default=list(PATTERN_NAMES),
-                           choices=sorted(WORKLOAD_NAMES),
+                           choices=RUNNABLE_WORKLOADS,
                            help="workloads to cross against topologies")
     scenarios.add_argument("--topologies", nargs="+",
                            default=list(TOPOLOGIES),
@@ -185,11 +236,80 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--update-goldens", action="store_true",
                        help="with --perf: re-measure and rewrite the "
                             "committed perf cycle-count goldens")
+    bench.add_argument("--seed", type=_seed_value, default=None,
+                       help="override the seed-parameterized grids "
+                            "(figures 4-7, the scenario matrix, and the "
+                            "trace-replay row) with this single seed")
+
+    trace = sub.add_parser(
+        "trace", help="record, inspect, transform, and replay access "
+                      "traces (see docs/SCENARIOS.md, 'Trace recipes')")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = tsub.add_parser(
+        "record", help="record a workload's per-core access streams")
+    record.add_argument("--workload", default="microbench",
+                        choices=RUNNABLE_WORKLOADS)
+    record.add_argument("--cores", type=int, default=16,
+                        help="number of cores (default 16)")
+    record.add_argument("--refs", type=_nonneg_int, default=100,
+                        help="references per core to record (default 100)")
+    record.add_argument("--seed", type=_seed_value, default=1)
+    record.add_argument("--out", required=True, metavar="FILE",
+                        help="trace file to write")
+
+    info = tsub.add_parser(
+        "info", help="print a trace file's header, counts, and digest")
+    info.add_argument("path", metavar="FILE")
+
+    replay = tsub.add_parser(
+        "replay", help="run one simulation driven by a recorded trace")
+    replay.add_argument("path", metavar="FILE")
+    _add_exec_options(replay)
+    replay.add_argument("--protocol", default="patch", choices=PROTOCOLS)
+    replay.add_argument("--predictor", default="all", choices=PREDICTORS)
+    replay.add_argument("--topology", default="torus",
+                        choices=topology_names())
+    replay.add_argument("--bandwidth", type=float, default=16.0,
+                        help="link bandwidth in bytes/cycle")
+    replay.add_argument("--refs", type=_nonneg_int, default=None,
+                        help="references per core (default: the full "
+                             "recorded length)")
+    replay.add_argument("--seed", type=_seed_value, default=1,
+                        help="config seed (replay content is fixed by the "
+                             "trace; this only distinguishes cells)")
+
+    transform = tsub.add_parser(
+        "transform", help="derive a new trace: truncate, fold onto fewer "
+                          "cores, interleave with another trace, perturb "
+                          "timing (applied in that order)")
+    transform.add_argument("path", metavar="FILE")
+    transform.add_argument("--out", required=True, metavar="FILE",
+                           help="derived trace file to write")
+    transform.add_argument("--truncate", type=_nonneg_int, default=None,
+                           metavar="REFS",
+                           help="keep only the first REFS accesses per core")
+    transform.add_argument("--fold-cores", type=int, default=None,
+                           metavar="N",
+                           help="remap onto N cores (old core i -> i %% N)")
+    transform.add_argument("--interleave", default=None, metavar="FILE",
+                           help="alternate accesses with a second trace "
+                                "(its blocks are offset past this trace's)")
+    transform.add_argument("--perturb-seed", type=_seed_value, default=None,
+                           metavar="SEED",
+                           help="jitter think times deterministically")
+    transform.add_argument("--jitter", type=_nonneg_int, default=None,
+                           help="max think-time jitter in cycles "
+                                "(requires --perturb-seed; default 4)")
 
     sub.add_parser("list", help="list workloads and configurations")
-    sub.add_parser("list-scenarios",
-                   help="list every registered workload generator and "
-                        "interconnect topology")
+    list_scenarios = sub.add_parser(
+        "list-scenarios",
+        help="list every registered workload generator and "
+             "interconnect topology")
+    list_scenarios.add_argument("--kind", default=None,
+                                choices=WORKLOAD_KINDS,
+                                help="only show generators of this kind")
     return parser
 
 
@@ -197,8 +317,31 @@ def build_parser() -> argparse.ArgumentParser:
 # Subcommands
 # ---------------------------------------------------------------------------
 
+def _print_run(result) -> None:
+    print(result.summary())
+    print(bar_chart("traffic/miss by class (bytes)",
+                    {k: v for k, v in result.traffic_per_miss().items()
+                     if v}))
+
+
 def cmd_run(args) -> int:
-    config = SystemConfig(num_cores=args.cores, protocol=args.protocol,
+    cores = args.cores
+    refs = args.refs
+    workload = args.workload
+    workload_kwargs = {}
+    if args.trace is not None:
+        from repro.traces import TraceFormatError
+        try:
+            meta, refs = _resolve_trace_refs(args.trace, refs)
+        except (OSError, TraceFormatError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        cores = meta.num_cores
+        workload = "trace"
+        workload_kwargs = {"path": args.trace}
+    elif refs is None:
+        refs = 100
+    config = SystemConfig(num_cores=cores, protocol=args.protocol,
                           predictor=(args.predictor
                                      if args.protocol == "patch" else "none"),
                           topology=args.topology,
@@ -206,13 +349,10 @@ def cmd_run(args) -> int:
                           encoding_coarseness=args.coarseness,
                           best_effort_direct=not args.non_adaptive)
     # Through the runner (not run_one) so --cache-dir / --no-cache apply.
-    result = run_experiment(config, args.workload,
-                            references_per_core=args.refs,
-                            seeds=(args.seed,)).runs[0]
-    print(result.summary())
-    print(bar_chart("traffic/miss by class (bytes)",
-                    {k: v for k, v in result.traffic_per_miss().items()
-                     if v}))
+    result = run_experiment(config, workload,
+                            references_per_core=refs,
+                            seeds=(args.seed,), **workload_kwargs).runs[0]
+    _print_run(result)
     return 0
 
 
@@ -297,6 +437,10 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
     if args.perf:
+        if args.seed is not None:
+            print("error: --seed only applies to the figure suite; the "
+                  "perf bench pins its own cells", file=sys.stderr)
+            return 2
         perf = None
         if args.update_goldens:
             # Reuse the just-measured report rather than measuring again.
@@ -305,7 +449,7 @@ def cmd_bench(args) -> int:
         return run_perf(quick=args.quick, out_path=args.out,
                         check=args.check, perf=perf)
     return run_bench(quick=args.quick, results_dir=args.results_dir,
-                     out_path=args.out, check=args.check)
+                     out_path=args.out, check=args.check, seed=args.seed)
 
 
 def cmd_list(args) -> int:
@@ -322,15 +466,113 @@ def cmd_list(args) -> int:
 
 
 def cmd_list_scenarios(args) -> int:
-    print("Workload generators (repro run --workload NAME):")
-    for spec in workload_specs():
+    specs = workload_specs()
+    if args.kind is not None:
+        specs = tuple(spec for spec in specs if spec.kind == args.kind)
+    shown = (f"{args.kind} workload generators" if args.kind
+             else "Workload generators")
+    print(f"{shown} (repro run --workload NAME):")
+    for spec in specs:
         print(f"  {spec.name:20} [{spec.kind:7}] {spec.description}")
+    if not specs:
+        print("  (none)")
     print("\nInterconnect topologies (repro run --topology NAME):")
     for spec in TOPOLOGIES.values():
         print(f"  {spec.name:20} {spec.description}")
     print("\nCross them with: repro scenarios "
           "[--workloads ...] [--topologies ...]")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# `repro trace` subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_trace_record(args) -> int:
+    from repro.traces import record_trace, save_trace, trace_info
+    trace = record_trace(args.workload, num_cores=args.cores,
+                         references_per_core=args.refs, seed=args.seed)
+    save_trace(trace, args.out)
+    info = trace_info(args.out)
+    print(f"recorded {args.workload} [{args.cores} cores x {args.refs} "
+          f"refs, seed {args.seed}] -> {args.out} "
+          f"({info['records']} records, {info['file_bytes']} bytes, "
+          f"digest {info['digest'][:16]})")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    from repro.traces import trace_info
+    info = trace_info(args.path)
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print(f"  {key:{width}}  {value}")
+    return 0
+
+
+def _cmd_trace_replay(args) -> int:
+    # ValueError (over-quota --refs) renders via cmd_trace's handler.
+    meta, refs = _resolve_trace_refs(args.path, args.refs)
+    config = SystemConfig(num_cores=meta.num_cores, protocol=args.protocol,
+                          predictor=(args.predictor
+                                     if args.protocol == "patch" else "none"),
+                          topology=args.topology,
+                          link_bandwidth=args.bandwidth)
+    result = run_experiment(config, "trace", references_per_core=refs,
+                            seeds=(args.seed,), path=args.path).runs[0]
+    _print_run(result)
+    return 0
+
+
+def _cmd_trace_transform(args) -> int:
+    from repro.traces import (fold_cores, interleave, load_trace,
+                              perturb_think, save_trace, truncate)
+    if args.jitter is not None and args.perturb_seed is None:
+        print("error: --jitter only applies with --perturb-seed",
+              file=sys.stderr)
+        return 2
+    steps = (args.truncate, args.fold_cores, args.interleave,
+             args.perturb_seed)
+    if all(step is None for step in steps):
+        print("error: nothing to do; give at least one of --truncate, "
+              "--fold-cores, --interleave, --perturb-seed",
+              file=sys.stderr)
+        return 2
+    trace = load_trace(args.path)
+    if args.truncate is not None:
+        trace = truncate(trace, args.truncate)
+    if args.fold_cores is not None:
+        trace = fold_cores(trace, args.fold_cores)
+    if args.interleave is not None:
+        trace = interleave(trace, load_trace(args.interleave))
+    if args.perturb_seed is not None:
+        trace = perturb_think(trace, args.perturb_seed,
+                              jitter=4 if args.jitter is None
+                              else args.jitter)
+    save_trace(trace, args.out)
+    print(f"{args.path} -> {args.out}: {trace.num_cores} cores, "
+          f"{trace.num_records} records, "
+          f"lineage {' | '.join(trace.meta.lineage)}")
+    return 0
+
+
+_TRACE_COMMANDS = {
+    "record": _cmd_trace_record,
+    "info": _cmd_trace_info,
+    "replay": _cmd_trace_replay,
+    "transform": _cmd_trace_transform,
+}
+
+
+def cmd_trace(args) -> int:
+    from repro.traces import TraceFormatError
+    try:
+        return _TRACE_COMMANDS[args.trace_command](args)
+    except (OSError, TraceFormatError, ValueError) as exc:
+        # Missing/corrupt/unwritable trace files and invalid transform
+        # parameters are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 COMMANDS = {
@@ -340,6 +582,7 @@ COMMANDS = {
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "scenarios": cmd_scenarios,
+    "trace": cmd_trace,
     "bench": cmd_bench,
     "list": cmd_list,
     "list-scenarios": cmd_list_scenarios,

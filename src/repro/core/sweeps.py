@@ -104,11 +104,14 @@ def topology_sweep(base_config: SystemConfig, workload_name: str,
                    seeds: Sequence[int] = (1,),
                    variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
                    runner: Optional[ParallelRunner] = None,
+                   **workload_kwargs,
                    ) -> Dict[str, Dict[str, ExperimentResult]]:
     """Runtime of each variant across interconnect fabrics.
 
     Shows how much of each protocol's behaviour is routing/congestion
     (changes with the fabric) versus protocol structure (does not).
+    ``workload_kwargs`` flow into every cell (e.g. ``path=...`` to
+    sweep a recorded trace across fabrics).
     """
     cells, slots = [], []
     for topology in topologies:
@@ -116,7 +119,8 @@ def topology_sweep(base_config: SystemConfig, workload_name: str,
             config = base_config.with_updates(topology=topology, **overrides)
             for seed in seeds:
                 cells.append(make_cell(config, workload_name,
-                                       references_per_core, seed))
+                                       references_per_core, seed,
+                                       **workload_kwargs))
                 slots.append((topology, label))
     grouped = run_grouped_cells(cells, slots, runner)
     return {topology: {label: ExperimentResult(f"{label}@{topology}",
@@ -131,6 +135,7 @@ def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
                     seeds: Sequence[int] = (1,),
                     variants: Optional[Dict[str, dict]] = None,
                     runner: Optional[ParallelRunner] = None,
+                    **workload_kwargs,
                     ) -> Dict[str, Dict[str, Dict[str, ExperimentResult]]]:
     """The cross-scenario grid: workload x topology x variant, one batch.
 
@@ -139,6 +144,13 @@ def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
     scenario-matrix table; the whole grid is submitted as one batch so
     the parallel runner overlaps every cell and each (workload,
     topology, variant, seed) point is cached independently.
+    ``workload_kwargs`` flow into *every* cell uniformly (the same
+    contract as :func:`~repro.core.runner.run_matrix`), which is how a
+    recorded trace crosses the matrix: ``scenario_matrix(cfg,
+    ["trace"], ..., path="oltp16.rpt")``.  Because every listed
+    workload receives the same kwargs, don't mix workloads with
+    incompatible constructor knobs (e.g. ``"trace"`` plus a generator)
+    in one grid — submit them as separate calls instead.
     """
     if variants is None:
         variants = {"Directory": {"protocol": "directory"},
@@ -151,7 +163,8 @@ def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
                                                   **overrides)
                 for seed in seeds:
                     cells.append(make_cell(config, workload,
-                                           references_per_core, seed))
+                                           references_per_core, seed,
+                                           **workload_kwargs))
                     slots.append((workload, topology, label))
     grouped = run_grouped_cells(cells, slots, runner)
     return {workload: {topology: {label: ExperimentResult(

@@ -2,8 +2,10 @@
 
 Every cache entry is one JSON file named by the SHA-256 of a canonical
 description of the run: the full :class:`SystemConfig`, the workload
-name and kwargs, the per-core reference quota, the seed, and a *code
-version* fingerprint hashing every ``repro`` source file.  Touching any
+name and kwargs (with a trace-backed cell's ``path`` kwarg replaced by
+the trace file's content digest — see :func:`cache_key`), the per-core
+reference quota, the seed, and a *code version* fingerprint hashing
+every ``repro`` source file.  Touching any
 source file therefore invalidates the whole cache; changing any config
 field moves the run to a new key.  Each code version gets its own
 generation directory, and stale generations are pruned automatically
@@ -70,12 +72,81 @@ def code_version() -> str:
     return digest.hexdigest()[:16]
 
 
+#: Digest memo keyed by (path, mtime_ns, size, inode), applied only to
+#: files of at least ``_DIGEST_MEMO_MIN_BYTES``: a batch crossing one
+#: large trace over many cells hashes the file once, while any edit
+#: (new stat signature) recomputes.  Small files are simply re-hashed —
+#: hashing them costs less than the residual risk of a same-size
+#: rewrite landing in one mtime tick on a coarse-timestamp filesystem.
+#: Bounded: cleared wholesale at a size far above any realistic working
+#: set of live trace files.
+_DIGEST_MEMO: Dict[tuple, str] = {}
+_DIGEST_MEMO_LIMIT = 256
+_DIGEST_MEMO_MIN_BYTES = 1 << 20
+
+
+def _trace_content_id(cell: Cell) -> Optional[str]:
+    """The content identity of a trace-backed cell's trace file.
+
+    For cells whose workload is registered with kind ``"trace"`` and
+    that carry a ``path`` kwarg, returns ``sha256:<digest>`` of the
+    file's bytes; for every other cell returns ``None``.  An unreadable
+    file degrades to a per-path sentinel rather than raising — key
+    computation must never abort a batch whose execution will surface
+    the real error.
+    """
+    path = next((value for key, value in cell.workload_kwargs
+                 if key == "path"), None)
+    if path is None:
+        return None
+    try:
+        from repro.workloads.registry import get_spec
+        spec = get_spec(cell.workload)
+    except ValueError:
+        return None
+    if spec.kind != "trace":
+        return None
+    from repro.traces.format import trace_digest
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return f"unreadable:{path}"
+    signature = None
+    if stat.st_size >= _DIGEST_MEMO_MIN_BYTES:
+        signature = (os.fspath(path), stat.st_mtime_ns, stat.st_size,
+                     stat.st_ino)
+        memoized = _DIGEST_MEMO.get(signature)
+        if memoized is not None:
+            return memoized
+    try:
+        content_id = f"sha256:{trace_digest(path)}"
+    except OSError:
+        return f"unreadable:{path}"
+    if signature is not None:
+        if len(_DIGEST_MEMO) >= _DIGEST_MEMO_LIMIT:
+            _DIGEST_MEMO.clear()
+        _DIGEST_MEMO[signature] = content_id
+    return content_id
+
+
 def cache_key(cell: Cell, version: Optional[str] = None) -> str:
-    """Stable content hash identifying one run."""
+    """Stable content hash identifying one run.
+
+    Trace-backed cells are keyed by their trace file's *content
+    digest*, substituted for the raw ``path`` kwarg: editing the file
+    moves every dependent cell to a new key, while renaming or copying
+    it leaves the cached results reachable.
+    """
+    cell_dict = cell_to_dict(cell)
+    trace_id = _trace_content_id(cell)
+    if trace_id is not None:
+        cell_dict["workload_kwargs"] = [
+            ["path", trace_id] if key == "path" else [key, value]
+            for key, value in cell_dict["workload_kwargs"]]
     payload = {
         "schema": SCHEMA_VERSION,
         "code_version": version if version is not None else code_version(),
-        "cell": cell_to_dict(cell),
+        "cell": cell_dict,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,31 @@
+"""Access-trace subsystem: record, transform, and replay memory traces.
+
+The protocols only ever observe the per-core reference stream, so a
+stream recorded once (:mod:`~repro.traces.recorder`) is a complete,
+replayable scenario (:mod:`~repro.traces.workload`), and transforms
+over it (:mod:`~repro.traces.transforms`) — truncate, fold onto fewer
+cores, interleave two recordings, perturb timing — each spawn a new
+scenario for free.  The on-disk format (:mod:`~repro.traces.format`)
+is a compact versioned binary with a content digest that
+:mod:`repro.exec.cache` folds into experiment-cell keys, so replayed
+cells cache soundly.  CLI surface: ``repro trace record|info|replay|
+transform`` and ``repro run --trace``.
+"""
+
+from repro.traces.format import (Trace, TraceFormatError, TraceMeta,
+                                 TraceReader, TraceWriter, load_trace,
+                                 save_trace, trace_digest, trace_info,
+                                 trace_shape)
+from repro.traces.recorder import TraceRecorder, record_trace
+from repro.traces.transforms import (fold_cores, interleave, perturb_think,
+                                     truncate)
+from repro.traces.workload import (TRACE_WORKLOAD_NAME, TraceExhaustedError,
+                                   TraceWorkload)
+
+__all__ = [
+    "Trace", "TraceFormatError", "TraceMeta", "TraceReader", "TraceWriter",
+    "load_trace", "save_trace", "trace_digest", "trace_info", "trace_shape",
+    "TraceRecorder", "record_trace",
+    "fold_cores", "interleave", "perturb_think", "truncate",
+    "TRACE_WORKLOAD_NAME", "TraceExhaustedError", "TraceWorkload",
+]

@@ -1,0 +1,439 @@
+"""Compact binary access-trace format (on-disk spec, version 1).
+
+A trace file freezes the per-core :class:`~repro.workloads.base.Access`
+streams one experiment cell consumes, so a workload can be recorded once
+and then replayed, folded, merged, or perturbed as a first-class
+scenario (see :mod:`repro.traces.transforms` and the ``repro trace``
+CLI).  The layout is deliberately simple and stable:
+
+.. code-block:: text
+
+    magic    4 bytes   b"RPTR"
+    version  1 byte    0x01
+    meta     varint length, then that many bytes of UTF-8 JSON
+             (the TraceMeta dict: num_cores, source, seed, lineage)
+    records  repeated until EOF, each:
+        varint  core_id
+        varint  (zigzag(block - prev_block[core]) << 1) | is_write
+        varint  think_time
+
+All varints are unsigned LEB128 (7 data bits per byte, high bit =
+continuation).  ``prev_block[core]`` starts at 0 and tracks the last
+block the *same* core referenced, so the hot case — a core revisiting a
+nearby region — encodes in one or two bytes regardless of absolute
+address.  Records from different cores may interleave arbitrarily;
+only per-core order is semantically meaningful (generators are
+interleaving-independent by contract, see :mod:`repro.workloads.base`).
+
+The **content digest** (:func:`trace_digest`) is the SHA-256 of the
+whole file.  :mod:`repro.exec.cache` folds it into experiment-cell
+cache keys in place of the file path, so cached results follow the
+trace's *content*: editing the file invalidates every dependent cell,
+while moving or copying it does not.
+
+Unknown keys in the metadata JSON are preserved for forward
+compatibility; an unknown version byte is rejected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.workloads.base import Access
+
+MAGIC = b"RPTR"
+VERSION = 1
+
+#: Writer buffer flush threshold (bytes).
+_FLUSH_BYTES = 1 << 16
+#: Reader chunk size (bytes).
+_CHUNK_BYTES = 1 << 16
+
+
+class TraceFormatError(ValueError):
+    """The bytes on disk are not a valid version-1 trace."""
+
+
+# ---------------------------------------------------------------------------
+# varint / zigzag primitives
+# ---------------------------------------------------------------------------
+
+def _append_varint(buffer: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varint value must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buffer.append(byte | 0x80)
+        else:
+            buffer.append(byte)
+            return
+
+
+def _zigzag(value: int) -> int:
+    """Map a signed int to an unsigned one with small magnitudes first."""
+    return (value << 1) if value >= 0 else ((-value << 1) - 1)
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not (value & 1) else -((value + 1) >> 1)
+
+
+# ---------------------------------------------------------------------------
+# Metadata and the in-memory trace
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Provenance header of a trace file.
+
+    ``source`` names what produced the stream (a registered workload
+    name for recordings, a transform description for derived traces);
+    ``lineage`` accumulates one entry per transform applied, so a
+    trace file always tells where it came from.  ``extra`` carries any
+    unknown header keys through a read/write round trip untouched.
+    """
+
+    num_cores: int
+    source: str = "?"
+    seed: int = 0
+    lineage: Tuple[str, ...] = ()
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be positive")
+
+    def to_dict(self) -> dict:
+        payload = dict(self.extra)
+        payload.update({"num_cores": self.num_cores, "source": self.source,
+                        "seed": self.seed, "lineage": list(self.lineage)})
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceMeta":
+        known = ("num_cores", "source", "seed", "lineage")
+        try:
+            num_cores = int(payload["num_cores"])
+        except (KeyError, TypeError, ValueError):
+            raise TraceFormatError(
+                "trace metadata lacks a valid num_cores") from None
+        try:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError):
+            raise TraceFormatError(
+                "trace metadata has a non-integer seed") from None
+        lineage = payload.get("lineage", ())
+        if (not isinstance(lineage, (list, tuple))
+                or not all(isinstance(step, str) for step in lineage)):
+            raise TraceFormatError(
+                "trace metadata lineage must be a list of strings")
+        return cls(num_cores=num_cores,
+                   source=str(payload.get("source", "?")),
+                   seed=seed,
+                   lineage=tuple(lineage),
+                   extra=tuple(sorted((k, v) for k, v in payload.items()
+                                      if k not in known)))
+
+    def derived(self, step: str, num_cores: Optional[int] = None,
+                source: Optional[str] = None) -> "TraceMeta":
+        """The metadata of a transform's output: lineage grows by one."""
+        return TraceMeta(
+            num_cores=self.num_cores if num_cores is None else num_cores,
+            source=self.source if source is None else source,
+            seed=self.seed, lineage=self.lineage + (step,),
+            extra=self.extra)
+
+
+@dataclass
+class Trace:
+    """A fully materialized trace: metadata plus per-core access streams.
+
+    ``streams[core]`` is that core's references in program order — the
+    exact sequence of :meth:`next_access` results a run consumes.  The
+    transforms in :mod:`repro.traces.transforms` operate on this form;
+    :func:`save_trace`/:func:`load_trace` convert to and from the
+    on-disk format.
+    """
+
+    meta: TraceMeta
+    streams: List[List[Access]]
+
+    def __post_init__(self) -> None:
+        if len(self.streams) != self.meta.num_cores:
+            raise ValueError(
+                f"trace has {len(self.streams)} streams but metadata "
+                f"says {self.meta.num_cores} cores")
+
+    @property
+    def num_cores(self) -> int:
+        return self.meta.num_cores
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(stream) for stream in self.streams)
+
+    @property
+    def references_per_core(self) -> int:
+        """The largest per-core quota every core can serve (min length)."""
+        return min((len(stream) for stream in self.streams), default=0)
+
+
+# ---------------------------------------------------------------------------
+# Streaming writer
+# ---------------------------------------------------------------------------
+
+class TraceWriter:
+    """Streams records into a trace file (header first, flushed in chunks).
+
+    >>> import tempfile, os
+    >>> from repro.workloads.base import Access
+    >>> path = os.path.join(tempfile.mkdtemp(), "t.rpt")
+    >>> with TraceWriter(path, TraceMeta(num_cores=2, source="doc")) as w:
+    ...     w.append(0, Access(block=5, is_write=True, think_time=3))
+    ...     w.append(1, Access(block=5, is_write=False))
+    >>> w.records
+    2
+    """
+
+    def __init__(self, path: os.PathLike, meta: TraceMeta) -> None:
+        self.path = os.fspath(path)
+        self.meta = meta
+        self.records = 0
+        self._prev_block = [0] * meta.num_cores
+        self._buffer = bytearray()
+        self._buffer += MAGIC
+        self._buffer.append(VERSION)
+        meta_bytes = json.dumps(meta.to_dict(), sort_keys=True,
+                                separators=(",", ":")).encode("utf-8")
+        _append_varint(self._buffer, len(meta_bytes))
+        self._buffer += meta_bytes
+        self._handle = open(self.path, "wb")
+
+    def append(self, core_id: int, access: Access) -> None:
+        if not 0 <= core_id < self.meta.num_cores:
+            raise ValueError(f"core_id {core_id} out of range for "
+                             f"{self.meta.num_cores} cores")
+        if access.block < 0 or access.think_time < 0:
+            raise ValueError(f"cannot encode negative block/think_time: "
+                             f"{access}")
+        buffer = self._buffer
+        _append_varint(buffer, core_id)
+        delta = access.block - self._prev_block[core_id]
+        self._prev_block[core_id] = access.block
+        _append_varint(buffer,
+                       (_zigzag(delta) << 1) | (1 if access.is_write else 0))
+        _append_varint(buffer, access.think_time)
+        self.records += 1
+        if len(buffer) >= _FLUSH_BYTES:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._handle.write(self._buffer)
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Streaming reader
+# ---------------------------------------------------------------------------
+
+class TraceReader:
+    """Iterates ``(core_id, Access)`` records out of a trace file.
+
+    The header is parsed eagerly (``.meta`` is available immediately);
+    records stream in :data:`_CHUNK_BYTES` chunks, so a trace never has
+    to fit in memory to be scanned (``repro trace info`` counts records
+    this way).
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._handle = open(self.path, "rb")
+        self._buf = b""
+        self._pos = 0
+        try:
+            magic = self._take(len(MAGIC))
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"{self.path}: not a trace file (bad magic {magic!r})")
+            version = self._take(1)[0]
+            if version != VERSION:
+                raise TraceFormatError(
+                    f"{self.path}: unsupported trace version {version} "
+                    f"(this build reads version {VERSION})")
+            meta_len = self._read_varint(eof_ok=False)
+            try:
+                payload = json.loads(self._take(meta_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise TraceFormatError(
+                    f"{self.path}: corrupt metadata header: {exc}") from exc
+            self.meta = TraceMeta.from_dict(payload)
+        except BaseException:  # don't leak the handle on a bad header
+            self._handle.close()
+            raise
+        self._prev_block = [0] * self.meta.num_cores
+
+    # -- buffered byte access ------------------------------------------
+    def _refill(self) -> bool:
+        chunk = self._handle.read(_CHUNK_BYTES)
+        if not chunk:
+            return False
+        self._buf = self._buf[self._pos:] + chunk
+        self._pos = 0
+        return True
+
+    def _take(self, n: int) -> bytes:
+        while len(self._buf) - self._pos < n:
+            if not self._refill():
+                raise TraceFormatError(f"{self.path}: truncated trace file")
+        out = self._buf[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def _read_varint(self, eof_ok: bool) -> int:
+        """One LEB128 varint; returns -1 on clean EOF when ``eof_ok``."""
+        value = 0
+        shift = 0
+        first = True
+        while True:
+            if self._pos >= len(self._buf) and not self._refill():
+                if first and eof_ok:
+                    return -1
+                raise TraceFormatError(f"{self.path}: truncated trace file")
+            byte = self._buf[self._pos]
+            self._pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            first = False
+
+    # -- record iteration ----------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[int, Access]]:
+        while True:
+            core_id = self._read_varint(eof_ok=True)
+            if core_id < 0:
+                return
+            if core_id >= self.meta.num_cores:
+                raise TraceFormatError(
+                    f"{self.path}: record names core {core_id} but the "
+                    f"header says {self.meta.num_cores} cores")
+            packed = self._read_varint(eof_ok=False)
+            think = self._read_varint(eof_ok=False)
+            block = self._prev_block[core_id] + _unzigzag(packed >> 1)
+            if block < 0:
+                raise TraceFormatError(
+                    f"{self.path}: decoded negative block for core "
+                    f"{core_id}")
+            self._prev_block[core_id] = block
+            yield core_id, Access(block=block, is_write=bool(packed & 1),
+                                  think_time=think)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Whole-trace conveniences
+# ---------------------------------------------------------------------------
+
+def save_trace(trace: Trace, path: os.PathLike) -> None:
+    """Write a materialized trace to ``path`` (round-robin record order).
+
+    Records are interleaved across cores by per-core index, which keeps
+    the delta encoding per core intact while making a truncated *file*
+    (not a supported operation, but a conceivable accident) fail the
+    format check rather than silently favoring low-numbered cores.
+    """
+    with TraceWriter(path, trace.meta) as writer:
+        longest = max((len(s) for s in trace.streams), default=0)
+        for index in range(longest):
+            for core_id, stream in enumerate(trace.streams):
+                if index < len(stream):
+                    writer.append(core_id, stream[index])
+
+
+def load_trace(path: os.PathLike) -> Trace:
+    """Materialize a trace file into per-core streams."""
+    with TraceReader(path) as reader:
+        streams: List[List[Access]] = [[] for _ in
+                                       range(reader.meta.num_cores)]
+        for core_id, access in reader:
+            streams[core_id].append(access)
+        return Trace(meta=reader.meta, streams=streams)
+
+
+def trace_shape(path: os.PathLike) -> Tuple[TraceMeta, int]:
+    """``(meta, references_per_core)`` without materializing the streams.
+
+    The cheap validation the CLI needs before launching a replay —
+    records are scanned in chunks and discarded, never held in memory.
+    """
+    with TraceReader(path) as reader:
+        per_core = [0] * reader.meta.num_cores
+        for core_id, _ in reader:
+            per_core[core_id] += 1
+        return reader.meta, (min(per_core) if per_core else 0)
+
+
+def trace_digest(path: os.PathLike) -> str:
+    """SHA-256 of the trace file's bytes (the cache-key identity)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(_CHUNK_BYTES), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def trace_info(path: os.PathLike) -> dict:
+    """Header, per-core counts, digest, and size — without materializing.
+
+    This is the engine behind ``repro trace info``.
+    """
+    with TraceReader(path) as reader:
+        per_core = [0] * reader.meta.num_cores
+        writes = 0
+        for core_id, access in reader:
+            per_core[core_id] += 1
+            writes += access.is_write
+        meta = reader.meta
+    records = sum(per_core)
+    return {
+        "path": os.fspath(path),
+        "version": VERSION,
+        "num_cores": meta.num_cores,
+        "source": meta.source,
+        "seed": meta.seed,
+        "lineage": list(meta.lineage),
+        "records": records,
+        "references_per_core": min(per_core) if per_core else 0,
+        "write_fraction": round(writes / records, 4) if records else 0.0,
+        "file_bytes": os.path.getsize(path),
+        "digest": trace_digest(path),
+    }

@@ -1,0 +1,132 @@
+"""Trace transforms: one recording spawns a family of scenarios.
+
+Every transform is a pure function ``Trace -> Trace`` that appends a
+description of itself to the output's ``lineage``, so a derived trace
+file always records how it was made.  The CLI chains them in a fixed
+order (truncate → fold → interleave → perturb); programmatic users can
+compose freely.
+
+The transforms deliberately operate on the materialized
+:class:`~repro.traces.format.Trace` form — traces at this repo's scale
+are kilobytes to megabytes, and keeping the logic list-based keeps it
+obviously correct (per-core order is the only order that matters).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.traces.format import Trace
+from repro.workloads.base import Access
+
+
+def truncate(trace: Trace, references_per_core: int) -> Trace:
+    """Keep only the first ``references_per_core`` accesses of each core."""
+    if references_per_core < 0:
+        raise ValueError("references_per_core must be non-negative")
+    streams = [stream[:references_per_core] for stream in trace.streams]
+    return Trace(meta=trace.meta.derived(f"truncate:{references_per_core}"),
+                 streams=streams)
+
+
+def fold_cores(trace: Trace, num_cores: int) -> Trace:
+    """Remap an N-core trace onto fewer cores (``new = old % num_cores``).
+
+    Source cores that land on the same target core are merged
+    round-robin by per-core index, so each source stream's internal
+    order survives and the merge is deterministic.  Folding preserves
+    the block address space — accesses that conflicted before still
+    conflict, now issued by fewer cores — which is the point: the same
+    sharing behaviour replayed on a smaller machine.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    if num_cores > trace.num_cores:
+        raise ValueError(
+            f"cannot fold a {trace.num_cores}-core trace onto {num_cores} "
+            "cores (target must not exceed the recorded core count)")
+    streams: List[List[Access]] = [[] for _ in range(num_cores)]
+    for target in range(num_cores):
+        sources = [trace.streams[core]
+                   for core in range(target, trace.num_cores, num_cores)]
+        longest = max((len(s) for s in sources), default=0)
+        merged = streams[target]
+        for index in range(longest):
+            for source in sources:
+                if index < len(source):
+                    merged.append(source[index])
+    return Trace(meta=trace.meta.derived(f"fold:{num_cores}",
+                                         num_cores=num_cores),
+                 streams=streams)
+
+
+def interleave(first: Trace, second: Trace,
+               block_offset: Optional[int] = None) -> Trace:
+    """Merge two traces core-by-core, alternating accesses.
+
+    Each core's output stream alternates ``first``'s and ``second``'s
+    records (the longer stream's tail runs out the clock).  If the core
+    counts differ, the result has the larger count and the shorter
+    trace simply contributes nothing on the extra cores.
+
+    ``block_offset`` shifts every block of ``second`` so the two
+    workloads touch disjoint addresses (composition: both sharing
+    behaviours run side by side).  The default offset places ``second``
+    just past ``first``'s highest block; pass ``0`` to alias the
+    address spaces instead and let the two patterns contend for the
+    same blocks.
+    """
+    if block_offset is None:
+        block_offset = 1 + max((access.block for stream in first.streams
+                                for access in stream), default=-1)
+    if block_offset < 0:
+        raise ValueError("block_offset must be non-negative")
+    num_cores = max(first.num_cores, second.num_cores)
+    streams: List[List[Access]] = []
+    for core in range(num_cores):
+        a = first.streams[core] if core < first.num_cores else []
+        b = second.streams[core] if core < second.num_cores else []
+        merged: List[Access] = []
+        for index in range(max(len(a), len(b))):
+            if index < len(a):
+                merged.append(a[index])
+            if index < len(b):
+                access = b[index]
+                merged.append(Access(block=access.block + block_offset,
+                                     is_write=access.is_write,
+                                     think_time=access.think_time))
+        streams.append(merged)
+    # The second trace's provenance must not vanish: fold its lineage
+    # into the step so two byte-different mixes can't look alike.
+    second_history = "|".join(second.meta.lineage)
+    step = (f"interleave:{second.meta.source}"
+            + (f"[{second_history}]" if second_history else "")
+            + f"+{block_offset}")
+    meta = first.meta.derived(
+        step, num_cores=num_cores,
+        source=f"{first.meta.source}+{second.meta.source}")
+    return Trace(meta=meta, streams=streams)
+
+
+def perturb_think(trace: Trace, seed: int, jitter: int = 4) -> Trace:
+    """Jitter every access's think time by ``[-jitter, +jitter]`` cycles.
+
+    Deterministic per ``(seed, core)`` — the same perturbation seed
+    always yields the same derived trace — and clamped at zero.  Blocks
+    and read/write types are untouched, so the sharing pattern is
+    identical; only the *timing* of the contention moves, which is how
+    one recording becomes a family of timing-sensitivity scenarios.
+    """
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    streams: List[List[Access]] = []
+    for core, stream in enumerate(trace.streams):
+        rng = random.Random(f"{seed}-perturb-{core}")
+        streams.append([
+            Access(block=access.block, is_write=access.is_write,
+                   think_time=max(0, access.think_time
+                                  + rng.randint(-jitter, jitter)))
+            for access in stream])
+    return Trace(meta=trace.meta.derived(f"perturb:{seed}~{jitter}"),
+                 streams=streams)

@@ -26,13 +26,18 @@ from typing import Callable, Dict, NamedTuple, Tuple
 from repro.workloads.base import WorkloadGenerator
 
 
+#: Kinds a workload generator can be registered under (the CLI's
+#: ``list-scenarios --kind`` filter draws its choices from here).
+WORKLOAD_KINDS = ("pattern", "preset", "micro", "trace")
+
+
 class WorkloadSpec(NamedTuple):
     """One runnable scenario: its factory and what it models."""
 
     name: str
     factory: Callable[..., WorkloadGenerator]
     description: str
-    kind: str  # "pattern" | "preset" | "micro"
+    kind: str  # one of WORKLOAD_KINDS
 
 
 _REGISTRY: Dict[str, WorkloadSpec] = {}
@@ -43,6 +48,9 @@ def register_factory(name: str, factory: Callable[..., WorkloadGenerator],
     """Register ``factory(num_cores, seed=..., **knobs)`` under ``name``."""
     if name in _REGISTRY:
         raise ValueError(f"workload {name!r} already registered")
+    if kind not in WORKLOAD_KINDS:
+        raise ValueError(f"unknown workload kind {kind!r}; "
+                         f"choose from {WORKLOAD_KINDS}")
     _REGISTRY[name] = WorkloadSpec(name, factory, description, kind)
 
 
@@ -60,6 +68,7 @@ def _ensure_registered() -> None:
     import repro.workloads.micro      # noqa: F401
     import repro.workloads.patterns   # noqa: F401
     import repro.workloads.presets    # noqa: F401
+    import repro.traces.workload      # noqa: F401  (the "trace" replayer)
 
 
 def workload_names() -> Tuple[str, ...]:

@@ -24,12 +24,13 @@ TINY_SCALE = BenchScale(
     scenario_workloads=("migratory", "false-sharing"),
     scenario_topologies=("torus", "mesh"),
     scenario_cores=4, scenario_refs=10, scenario_seeds=(1,),
+    trace_workloads=("microbench",), trace_cores=4, trace_refs=10,
 )
 
 EXPECTED_TABLES = (
     "fig4_runtime", "fig5_traffic", "fig6_bandwidth_ocean",
     "fig7_bandwidth_jbb", "fig8_scalability", "fig9_inexact_runtime",
-    "fig10_inexact_traffic", "scenario_matrix",
+    "fig10_inexact_traffic", "scenario_matrix", "trace_replay",
 )
 
 
@@ -51,11 +52,21 @@ def test_run_bench_writes_tables_and_report(tmp_path):
     assert report["jobs"] == 1
     assert set(report["timings_seconds"]) == {
         "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "scenario"}
+        "scenario", "trace"}
     assert report["total_seconds"] > 0
     assert report["cache"]["stores"] == report["cache"]["misses"] > 0
     assert report["headline"]["patch_all_geomean"] > 0
     assert isinstance(report["headline"]["ok"], bool)
+    # Satellite: cache effectiveness is visible per figure.
+    assert set(report["cache_per_figure"]) == set(report["timings_seconds"])
+    summed = {key: sum(per[key] for per in
+                       report["cache_per_figure"].values())
+              for key in ("hits", "misses", "stores")}
+    assert summed["misses"] == report["cache"]["misses"]
+    assert summed["hits"] == report["cache"]["hits"]
+    # Trace replay ran and matched its live runs bit-for-bit.
+    assert report["trace_replay"]["identical"] is True
+    assert report["trace_replay"]["workloads"]
 
 
 def test_run_bench_warm_cache_skips_simulation(tmp_path):

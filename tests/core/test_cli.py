@@ -163,6 +163,17 @@ def _subcommands():
     return action.choices
 
 
+def _known_flags(parser):
+    """Option strings of a parser plus all of its nested subparsers
+    (``repro trace record --out ...`` documents a nested flag)."""
+    flags = set(parser._option_string_actions)
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for nested in action.choices.values():
+                flags |= _known_flags(nested)
+    return flags
+
+
 def _documented_invocations(text):
     """(subcommand, flags) for every ``repro <sub> [--flag ...]`` line."""
     for line in text.splitlines():
@@ -180,7 +191,7 @@ def test_documented_cli_recipes_exist(doc):
     checked = 0
     for sub, flags, line in _documented_invocations(text):
         assert sub in subcommands, f"{doc} documents unknown command: {line}"
-        known_flags = set(subcommands[sub]._option_string_actions)
+        known_flags = _known_flags(subcommands[sub])
         for flag in flags:
             assert flag in known_flags, (
                 f"{doc} documents unknown flag {flag} for "
@@ -194,7 +205,7 @@ def test_cli_docstring_examples_exist():
     subcommands = _subcommands()
     for sub, flags, line in _documented_invocations(cli.__doc__):
         assert sub in subcommands, line
-        known_flags = set(subcommands[sub]._option_string_actions)
+        known_flags = _known_flags(subcommands[sub])
         for flag in flags:
             assert flag in known_flags, line
 
@@ -239,3 +250,213 @@ def test_bench_update_goldens_requires_perf(capsys):
     code = main(["bench", "--update-goldens"])
     assert code == 2
     assert "--perf" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Seed validation (regression: negative seeds must fail in argparse, not
+# propagate into the generators)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["run", "--seed", "-1"],
+    ["bench", "--seed", "-2"],
+    ["fig4", "--seed", "-1"],
+    ["fig9", "--seed", "-3"],
+    ["scenarios", "--seed", "-1"],
+    ["trace", "record", "--seed", "-1", "--out", "x.rpt"],
+    ["trace", "transform", "x.rpt", "--perturb-seed", "-4", "--out", "y"],
+])
+def test_negative_seed_rejected(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(argv)
+    assert excinfo.value.code == 2
+    assert "seed must be >= 0" in capsys.readouterr().err
+
+
+def test_non_integer_seed_rejected(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--seed", "lots"])
+    assert "not an integer" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# list-scenarios --kind
+# ---------------------------------------------------------------------------
+
+def test_list_scenarios_shows_kind_column(capsys):
+    assert main(["list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    for kind in ("pattern", "preset", "micro", "trace"):
+        assert f"[{kind:7}]" in out
+
+
+def test_list_scenarios_kind_filter(capsys):
+    assert main(["list-scenarios", "--kind", "pattern"]) == 0
+    out = capsys.readouterr().out
+    assert "migratory" in out
+    assert "oltp" not in out          # presets filtered out
+    assert "microbench" not in out    # micro filtered out
+    assert "torus" in out             # topologies still listed
+
+
+def test_list_scenarios_rejects_unknown_kind():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["list-scenarios", "--kind", "mystery"])
+
+
+# ---------------------------------------------------------------------------
+# repro trace: record / info / replay / transform, and repro run --trace
+# ---------------------------------------------------------------------------
+
+def test_trace_record_info_and_replay_match_live_run(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    assert main(["run", "--workload", "microbench", "--cores", "4",
+                 "--refs", "20", "--seed", "3", "--no-cache"]) == 0
+    live = capsys.readouterr().out
+
+    assert main(["trace", "record", "--workload", "microbench",
+                 "--cores", "4", "--refs", "20", "--seed", "3",
+                 "--out", trace]) == 0
+    assert "digest" in capsys.readouterr().out
+
+    assert main(["trace", "info", trace]) == 0
+    info = capsys.readouterr().out
+    assert "microbench" in info and "references_per_core" in info
+
+    assert main(["trace", "replay", trace, "--no-cache"]) == 0
+    assert capsys.readouterr().out == live  # bit-identical, CLI included
+
+
+def test_run_with_trace_flag(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    assert main(["trace", "record", "--workload", "migratory",
+                 "--cores", "4", "--refs", "15", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["run", "--trace", trace, "--refs", "10",
+                 "--no-cache"]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_run_with_trace_defaults_to_recorded_length(tmp_path, capsys):
+    # A trace shorter than the usual --refs default must replay in full
+    # without an explicit --refs.
+    trace = str(tmp_path / "short.rpt")
+    assert main(["trace", "record", "--workload", "microbench",
+                 "--cores", "4", "--refs", "8", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["run", "--trace", trace, "--no-cache"]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_scenarios_rejects_trace_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["scenarios", "--workloads", "trace"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig4", "--workloads", "trace"])
+
+
+def test_run_with_trace_rejects_excess_refs(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    assert main(["trace", "record", "--workload", "microbench",
+                 "--cores", "4", "--refs", "5", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["run", "--trace", trace, "--refs", "50",
+                 "--no-cache"]) == 2
+    assert "recorded length" in capsys.readouterr().err
+
+
+def test_trace_transform_fold_then_replay(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    folded = str(tmp_path / "folded.rpt")
+    assert main(["trace", "record", "--workload", "oltp", "--cores", "4",
+                 "--refs", "12", "--out", trace]) == 0
+    assert main(["trace", "transform", trace, "--fold-cores", "2",
+                 "--truncate", "10", "--out", folded]) == 0
+    out = capsys.readouterr().out
+    assert "truncate:10" in out and "fold:2" in out
+    assert main(["trace", "replay", folded, "--protocol", "directory",
+                 "--no-cache"]) == 0
+    assert "cores=2" in capsys.readouterr().out
+
+
+def test_trace_transform_interleave_and_perturb(tmp_path, capsys):
+    a, b, out = (str(tmp_path / name) for name in ("a.rpt", "b.rpt",
+                                                   "mix.rpt"))
+    for workload, path in (("migratory", a), ("producer-consumer", b)):
+        assert main(["trace", "record", "--workload", workload,
+                     "--cores", "4", "--refs", "8", "--out", path]) == 0
+    assert main(["trace", "transform", a, "--interleave", b,
+                 "--perturb-seed", "5", "--out", out]) == 0
+    text = capsys.readouterr().out
+    assert "interleave" in text and "perturb:5" in text
+    assert main(["trace", "replay", out, "--no-cache"]) == 0
+
+
+def test_trace_transform_requires_a_step(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    assert main(["trace", "record", "--workload", "microbench",
+                 "--cores", "2", "--refs", "3", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["trace", "transform", trace,
+                 "--out", str(tmp_path / "o.rpt")]) == 2
+    assert "nothing to do" in capsys.readouterr().err
+    # --jitter is a perturb parameter, not a step: alone it must point
+    # at the missing --perturb-seed instead of being silently ignored.
+    assert main(["trace", "transform", trace, "--truncate", "2",
+                 "--jitter", "10", "--out", str(tmp_path / "o.rpt")]) == 2
+    assert "--perturb-seed" in capsys.readouterr().err
+
+
+def test_trace_commands_report_missing_file_cleanly(tmp_path, capsys):
+    missing = str(tmp_path / "nope.rpt")
+    for argv in (["trace", "info", missing],
+                 ["trace", "replay", missing],
+                 ["trace", "transform", missing, "--truncate", "1",
+                  "--out", str(tmp_path / "o.rpt")],
+                 ["run", "--trace", missing]):
+        assert main(argv) == 2, argv
+        assert "error:" in capsys.readouterr().err
+
+
+def test_trace_transform_invalid_parameters_report_cleanly(tmp_path,
+                                                           capsys):
+    trace = str(tmp_path / "t.rpt")
+    assert main(["trace", "record", "--workload", "microbench",
+                 "--cores", "4", "--refs", "4", "--out", trace]) == 0
+    capsys.readouterr()
+    # An expanding fold is a ValueError from the transform; the CLI
+    # must render it, not traceback.
+    assert main(["trace", "transform", trace, "--fold-cores", "8",
+                 "--out", str(tmp_path / "o.rpt")]) == 2
+    assert "error:" in capsys.readouterr().err
+    # Negative counts never get past argparse.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "transform", trace,
+                                   "--truncate", "-1", "--out", "o.rpt"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "replay", trace,
+                                   "--refs", "-3"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--refs", "-5"])
+
+
+def test_trace_info_reports_corrupt_file_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.rpt"
+    bad.write_bytes(b"this is not a trace")
+    assert main(["trace", "info", str(bad)]) == 2
+    assert "magic" in capsys.readouterr().err
+
+
+def test_bench_perf_rejects_seed(capsys):
+    assert main(["bench", "--perf", "--seed", "3"]) == 2
+    assert "--seed only applies" in capsys.readouterr().err
+
+
+def test_trace_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace"])
+
+
+def test_run_workload_choices_exclude_trace():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--workload", "trace"])

@@ -34,9 +34,15 @@ def test_protocol_workload_matrix_completes(protocol, predictor,
 
 
 @pytest.mark.parametrize("workload_name", sorted(WORKLOAD_NAMES))
-def test_all_presets_run_on_patch(workload_name):
+def test_all_presets_run_on_patch(workload_name, tmp_path):
     config = SystemConfig(num_cores=4, protocol="patch", predictor="all")
-    workload = make_workload(workload_name, num_cores=4, seed=1)
+    kwargs = {}
+    if workload_name == "trace":  # file-backed: replay a fresh recording
+        from repro.traces import record_trace, save_trace
+        path = tmp_path / "e2e.rpt"
+        save_trace(record_trace("oltp", 4, 40, seed=1), path)
+        kwargs["path"] = str(path)
+    workload = make_workload(workload_name, num_cores=4, seed=1, **kwargs)
     result = System(config, workload, references_per_core=40).run()
     assert result.total_references == 160
 

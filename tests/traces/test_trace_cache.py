@@ -1,0 +1,122 @@
+"""Exec-cache integration: trace cells are keyed by content digest."""
+
+import shutil
+
+from repro.config import SystemConfig
+from repro.exec import ParallelRunner, ResultCache, make_cell
+from repro.exec.cache import cache_key
+from repro.traces import perturb_think, record_trace, save_trace
+
+CORES = 4
+REFS = 10
+
+
+def _recorded(tmp_path, name="a.rpt", seed=1):
+    path = tmp_path / name
+    save_trace(record_trace("migratory", CORES, REFS, seed=seed), path)
+    return path
+
+
+def test_key_follows_content_not_path(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k1")
+    config = SystemConfig(num_cores=CORES)
+    a = _recorded(tmp_path)
+    b = tmp_path / "moved.rpt"
+    shutil.copy(a, b)
+    key_a = cache_key(make_cell(config, "trace", REFS, 1, path=str(a)))
+    key_b = cache_key(make_cell(config, "trace", REFS, 1, path=str(b)))
+    assert key_a == key_b  # a moved/copied trace keeps its cached cells
+
+
+def test_editing_the_trace_invalidates_the_cell(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k2")
+    config = SystemConfig(num_cores=CORES)
+    path = _recorded(tmp_path)
+    before = cache_key(make_cell(config, "trace", REFS, 1, path=str(path)))
+    save_trace(perturb_think(record_trace("migratory", CORES, REFS), 3),
+               path)
+    after = cache_key(make_cell(config, "trace", REFS, 1, path=str(path)))
+    assert before != after
+
+
+def test_missing_trace_degrades_instead_of_raising(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k3")
+    config = SystemConfig(num_cores=CORES)
+    key = cache_key(make_cell(config, "trace", REFS, 1,
+                              path=str(tmp_path / "gone.rpt")))
+    assert key  # key computation survives; execution surfaces the error
+
+
+def test_non_trace_path_kwarg_is_left_alone(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k4")
+    config = SystemConfig(num_cores=CORES)
+    # "microbench" has kind "micro": a path kwarg must not be digested.
+    key = cache_key(make_cell(config, "microbench", REFS, 1,
+                              path=str(tmp_path / "irrelevant")))
+    assert key
+
+
+def test_digest_memoized_by_stat_and_recomputed_on_edit(tmp_path,
+                                                        monkeypatch):
+    """A large unchanged trace file is hashed once per stat signature,
+    but an in-place edit (new mtime/size) recomputes — so memoization
+    can never serve a stale digest for new content."""
+    import repro.exec.cache as cache_mod
+    import repro.traces.format as format_mod
+
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k6")
+    monkeypatch.setattr(cache_mod, "_DIGEST_MEMO_MIN_BYTES", 1)
+    calls = []
+    real = format_mod.trace_digest
+    monkeypatch.setattr(format_mod, "trace_digest",
+                        lambda path: (calls.append(1), real(path))[1])
+    path = _recorded(tmp_path)
+    cell = make_cell(SystemConfig(num_cores=CORES), "trace", REFS, 1,
+                     path=str(path))
+    key = cache_key(cell)
+    assert cache_key(cell) == key          # second key: memoized digest
+    assert len(calls) == 1
+    save_trace(record_trace("migratory", CORES, REFS, seed=9), path)
+    assert cache_key(cell) != key          # edit seen despite the memo
+    assert len(calls) == 2
+
+
+def test_small_files_bypass_the_digest_memo(tmp_path, monkeypatch):
+    """Below the memo threshold every key computation re-hashes, so even
+    a same-size same-mtime rewrite cannot serve a stale digest."""
+    import repro.traces.format as format_mod
+
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k7")
+    calls = []
+    real = format_mod.trace_digest
+    monkeypatch.setattr(format_mod, "trace_digest",
+                        lambda path: (calls.append(1), real(path))[1])
+    path = _recorded(tmp_path)
+    cell = make_cell(SystemConfig(num_cores=CORES), "trace", REFS, 1,
+                     path=str(path))
+    assert cache_key(cell) == cache_key(cell)
+    assert len(calls) == 2
+
+
+def test_runner_round_trip_hits_then_invalidates(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "k5")
+    config = SystemConfig(num_cores=CORES, protocol="patch",
+                          predictor="all")
+    path = _recorded(tmp_path)
+    cell = make_cell(config, "trace", REFS, 1, path=str(path))
+
+    cache = ResultCache(tmp_path / "cache")
+    runner = ParallelRunner(jobs=1, cache=cache)
+    first = runner.run_cells([cell])[0]
+    assert cache.stats()["misses"] == 1 and cache.stats()["stores"] == 1
+
+    warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    second = warm.run_cells([cell])[0]
+    assert warm.cache.stats()["hits"] == 1
+    assert second.runtime_cycles == first.runtime_cycles
+
+    # Edit the trace in place: the same cell now misses and re-runs.
+    save_trace(record_trace("migratory", CORES, REFS, seed=2), path)
+    cold = ParallelRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    cold.run_cells([cell])
+    assert cold.cache.stats()["misses"] == 1

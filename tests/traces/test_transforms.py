@@ -1,0 +1,118 @@
+"""Trace transforms: truncate, fold, interleave, perturb."""
+
+import pytest
+
+from repro.traces import (fold_cores, interleave, perturb_think,
+                          record_trace, truncate)
+from repro.traces.format import Trace, TraceMeta
+from repro.workloads.base import Access
+
+
+def _literal_trace(streams, source="lit"):
+    return Trace(meta=TraceMeta(num_cores=len(streams), source=source),
+                 streams=[[Access(block=b, is_write=w, think_time=t)
+                           for b, w, t in stream] for stream in streams])
+
+
+def test_truncate_keeps_prefix():
+    trace = record_trace("microbench", num_cores=2, references_per_core=10)
+    cut = truncate(trace, 4)
+    assert cut.references_per_core == 4
+    for core in range(2):
+        assert cut.streams[core] == trace.streams[core][:4]
+    assert cut.meta.lineage == ("truncate:4",)
+    assert truncate(trace, 99).streams == trace.streams  # no-op beyond end
+
+
+def test_truncate_rejects_negative():
+    trace = record_trace("microbench", num_cores=1, references_per_core=2)
+    with pytest.raises(ValueError):
+        truncate(trace, -1)
+
+
+def test_fold_merges_round_robin():
+    trace = _literal_trace([
+        [(0, False, 0), (1, False, 0)],      # core 0 -> target 0
+        [(10, False, 0), (11, False, 0)],    # core 1 -> target 1
+        [(20, True, 0), (21, True, 0)],      # core 2 -> target 0
+        [(30, True, 0)],                     # core 3 -> target 1
+    ])
+    folded = fold_cores(trace, 2)
+    assert folded.num_cores == 2
+    assert folded.num_records == trace.num_records
+    assert [a.block for a in folded.streams[0]] == [0, 20, 1, 21]
+    assert [a.block for a in folded.streams[1]] == [10, 30, 11]
+    assert folded.meta.lineage == ("fold:2",)
+
+
+def test_fold_identity_and_errors():
+    trace = record_trace("migratory", num_cores=4, references_per_core=5)
+    same = fold_cores(trace, 4)
+    assert same.streams == trace.streams
+    with pytest.raises(ValueError):
+        fold_cores(trace, 0)
+    with pytest.raises(ValueError, match="fold"):
+        fold_cores(trace, 8)
+
+
+def test_fold_preserves_block_space():
+    trace = record_trace("oltp", num_cores=4, references_per_core=10)
+    folded = fold_cores(trace, 2)
+    original = sorted(a.block for s in trace.streams for a in s)
+    assert sorted(a.block for s in folded.streams for a in s) == original
+
+
+def test_interleave_alternates_and_offsets():
+    a = _literal_trace([[(0, False, 0), (1, False, 0)]], source="a")
+    b = _literal_trace([[(0, True, 5), (2, True, 5)]], source="b")
+    mixed = interleave(a, b)
+    # Default offset = 1 + max block of `a` = 2: b's blocks become 2, 4.
+    assert [(x.block, x.is_write) for x in mixed.streams[0]] == [
+        (0, False), (2, True), (1, False), (4, True)]
+    assert mixed.meta.source == "a+b"
+    aliased = interleave(a, b, block_offset=0)
+    assert [x.block for x in aliased.streams[0]] == [0, 0, 1, 2]
+
+
+def test_interleave_unequal_cores_and_lengths():
+    a = _literal_trace([[(0, False, 0)], [(5, False, 0), (6, False, 0)]])
+    b = _literal_trace([[(1, True, 0), (2, True, 0), (3, True, 0)]])
+    mixed = interleave(a, b, block_offset=100)
+    assert mixed.num_cores == 2
+    # Core 0: alternation, then b's tail; core 1: a's stream untouched.
+    assert [x.block for x in mixed.streams[0]] == [0, 101, 102, 103]
+    assert [x.block for x in mixed.streams[1]] == [5, 6]
+
+
+def test_perturb_is_deterministic_and_clamped():
+    trace = record_trace("jbb", num_cores=3, references_per_core=12)
+    once = perturb_think(trace, seed=9, jitter=3)
+    again = perturb_think(trace, seed=9, jitter=3)
+    other = perturb_think(trace, seed=10, jitter=3)
+    assert once.streams == again.streams
+    assert once.streams != other.streams
+    for stream, original in zip(once.streams, trace.streams):
+        for access, source in zip(stream, original):
+            assert access.block == source.block
+            assert access.is_write == source.is_write
+            assert access.think_time >= 0
+            assert abs(access.think_time - source.think_time) <= 3
+    with pytest.raises(ValueError):
+        perturb_think(trace, seed=1, jitter=-1)
+
+
+def test_interleave_preserves_second_traces_provenance():
+    a = record_trace("migratory", num_cores=2, references_per_core=4)
+    b = perturb_think(record_trace("producer-consumer", 2, 4), seed=7)
+    mixed = interleave(a, b, block_offset=100)
+    (step,) = mixed.meta.lineage
+    assert "producer-consumer" in step
+    assert "perturb:7~4" in step  # b's own history is visible in the mix
+
+
+def test_lineage_accumulates_across_transforms():
+    trace = record_trace("microbench", num_cores=4, references_per_core=6)
+    derived = perturb_think(fold_cores(truncate(trace, 5), 2), seed=1)
+    assert derived.meta.lineage == ("truncate:5", "fold:2", "perturb:1~4")
+    assert derived.meta.source == "microbench"
+    assert derived.meta.seed == trace.meta.seed
