@@ -32,15 +32,20 @@ from repro.core.runner import (PAPER_CONFIGS, compare_configs,
                                run_matrix, run_one)
 from repro.core.sweeps import scenario_matrix, topology_sweep
 from repro.core.system import System
+# After repro.core: the core helpers are spec builders over repro.api,
+# so the api package initializes as part of the core import chain.
+from repro.api import (ExperimentResult, Session, SpecError, StudyResult,
+                       StudySpec)
 from repro.exec import ParallelRunner, ResultCache
 from repro.interconnect.topology import make_topology, topology_names
 from repro.workloads.presets import WORKLOAD_NAMES, make_workload
 from repro.workloads.registry import workload_names, workload_specs
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
-    "PAPER_CONFIGS", "ParallelRunner", "ResultCache", "RunResult",
+    "ExperimentResult", "PAPER_CONFIGS", "ParallelRunner", "ResultCache",
+    "RunResult", "Session", "SpecError", "StudyResult", "StudySpec",
     "System", "SystemConfig", "WORKLOAD_NAMES", "__version__",
     "compare_configs", "make_topology", "make_workload", "model",
     "normalized_runtimes", "run_experiment", "run_matrix", "run_one",

@@ -1,0 +1,37 @@
+"""Declarative experiment API: specs in, grouped results out.
+
+The paper's evaluation is one big grid — protocol variants x workloads
+x topologies x bandwidth/coarseness/core-count axes x seeds.  This
+package makes that grid a first-class value:
+
+* :class:`~repro.api.spec.StudySpec` — named axes over config
+  overrides, workloads (trace-backed included), kwargs, and seeds;
+  cross-product or explicit-point grids; JSON round-trip with
+  schema-versioned validation.  Lowers to the existing
+  :class:`~repro.exec.cells.Cell` batch, so a spec-run study is
+  bit-identical to the legacy helper it replaces.
+* :class:`~repro.api.session.Session` — owns the parallel runner and
+  result cache; ``Session().run(spec)`` executes the whole grid as one
+  batch.
+* :class:`~repro.api.result.StudyResult` — runs grouped per grid
+  point, with per-axis :class:`~repro.api.result.ExperimentResult`
+  views, nested-dict reshaping, and confidence-interval helpers.
+
+The legacy helpers (``run_experiment``, ``run_matrix``, every sweep in
+:mod:`repro.core.sweeps`, the ``repro bench`` figure bundles) are thin
+spec-builders over this package; ``repro study run|show|validate``
+drives spec files from the shell, and ``examples/specs/`` ships the
+paper's figures as committed specs.  See docs/API.md.
+"""
+
+from repro.api.result import ExperimentResult, StudyKey, StudyResult
+from repro.api.session import Session
+from repro.api.spec import (AxisSpec, PointSpec, ResolvedPoint,
+                            SPEC_SCHEMA, SpecError, StudySpec,
+                            config_overrides)
+
+__all__ = [
+    "AxisSpec", "ExperimentResult", "PointSpec", "ResolvedPoint",
+    "SPEC_SCHEMA", "Session", "SpecError", "StudyKey", "StudyResult",
+    "StudySpec", "config_overrides",
+]

@@ -1,0 +1,107 @@
+"""The Session facade: one object owning execution for a whole study.
+
+A :class:`Session` wraps the pieces every entry point used to wire by
+hand — a :class:`~repro.exec.parallel.ParallelRunner`, its worker
+count, and the on-disk :class:`~repro.exec.cache.ResultCache` — and
+exposes one operation: :meth:`Session.run` takes a validated
+:class:`~repro.api.spec.StudySpec`, lowers it to its cell batch,
+submits the batch once (so the pool overlaps every grid point), and
+returns a :class:`~repro.api.result.StudyResult` with the runs grouped
+back per grid point and the cache activity attributable to the study.
+
+Construction mirrors the CLI's execution flags::
+
+    Session()                      # the process default runner
+    Session(jobs=4)                # 4 workers, environment cache policy
+    Session(no_cache=True)         # never touch the on-disk cache
+    Session(cache_dir="/tmp/c")    # explicit cache location
+    Session(runner=my_runner)      # wrap an existing runner verbatim
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.result import StudyResult
+from repro.api.spec import StudySpec
+from repro.core.results import RunResult
+from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
+                        get_default_runner)
+from repro.exec.cells import Cell
+
+
+class Session:
+    """Owns the runner + cache a study executes through."""
+
+    def __init__(self, runner: Optional[ParallelRunner] = None,
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[os.PathLike] = None,
+                 no_cache: bool = False) -> None:
+        if runner is not None:
+            if jobs is not None or cache is not None \
+                    or cache_dir is not None or no_cache:
+                raise ValueError("pass either 'runner' or the "
+                                 "jobs/cache/cache_dir/no_cache knobs, "
+                                 "not both")
+            self.runner = runner
+        elif jobs is None and cache is None and cache_dir is None \
+                and not no_cache:
+            self.runner = get_default_runner()
+        else:
+            if no_cache:
+                cache = None
+            elif cache is None:
+                if cache_dir is not None:
+                    cache = ResultCache(cache_dir)
+                elif not os.environ.get(NO_CACHE_ENV):
+                    cache = ResultCache()
+            self.runner = ParallelRunner(jobs=jobs, cache=cache)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.runner.cache
+
+    @property
+    def jobs(self) -> int:
+        return self.runner.jobs
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Lifetime stats of the underlying cache (None when uncached)."""
+        return self.cache.stats() if self.cache is not None else None
+
+    # ------------------------------------------------------------------
+    def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
+        """Raw batch submission (input order preserved, cache-aware)."""
+        return self.runner.run_cells(cells)
+
+    def run(self, spec: StudySpec, validate: bool = True) -> StudyResult:
+        """Execute every cell of ``spec`` as one batch.
+
+        The study's cells are submitted together — grid order, seeds
+        innermost — so the pool overlaps all grid points and each cell
+        hits the result cache independently; the returned
+        :class:`StudyResult` reports how many of this study's cells
+        were cache hits vs fresh simulations (``cache_delta``).
+        """
+        if validate:
+            spec.validate()
+        groups = spec.cell_groups()
+        cells = [cell for _, cells in groups for cell in cells]
+        before = self.cache_stats()
+        runs = self.runner.run_cells(cells)
+        after = self.cache_stats()
+        delta = (None if before is None
+                 else {key: after[key] - before[key] for key in after})
+        runs_by_key = {}
+        cursor = 0
+        for key, group_cells in groups:
+            runs_by_key[key] = runs[cursor:cursor + len(group_cells)]
+            cursor += len(group_cells)
+        return StudyResult(spec=spec,
+                           keys=tuple(key for key, _ in groups),
+                           runs_by_key=runs_by_key,
+                           cache_delta=delta,
+                           jobs=self.jobs)

@@ -9,6 +9,9 @@ same code:
 
 * :class:`BenchScale` pins the grid sizes; :data:`FULL_SCALE` matches
   the benchmark suite, :data:`QUICK_SCALE` is the CI smoke-test size.
+* ``*_spec`` functions express each figure's grid as a declarative
+  :class:`~repro.api.spec.StudySpec` (committed under
+  ``examples/specs/`` and replayable via ``repro study run``).
 * ``*_results`` functions run the experiment bundles through the
   parallel runner (and therefore the shared on-disk result cache).
 * ``render_*`` functions turn bundles into the published text tables
@@ -40,13 +43,18 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis import format_table
+from repro.api import AxisSpec, PointSpec, Session, StudySpec, \
+    config_overrides
 from repro.config import SystemConfig
-from repro.core.runner import (PAPER_CONFIGS, normalized_runtimes,
-                               normalized_traffic, run_matrix)
-from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
-                               encoding_sweep, scalability_sweep,
-                               scenario_matrix)
-from repro.exec import ParallelRunner, get_default_runner, make_cell
+from repro.core.runner import (PAPER_CONFIGS, matrix_spec, matrix_view,
+                               normalized_runtimes, normalized_traffic)
+from repro.core.sweeps import (bandwidth_sweep_spec, bandwidth_sweep_view,
+                               coarseness_points, encoding_sweep_spec,
+                               encoding_sweep_view, scalability_sweep_spec,
+                               scalability_sweep_view,
+                               scenario_matrix_view)
+from repro.core.sweeps import scenario_matrix_spec as _scenario_matrix_spec
+from repro.exec import ParallelRunner, get_default_runner
 from repro.exec.serialization import run_result_to_dict
 from repro.stats.counters import geometric_mean
 from repro.stats.traffic import FIGURE5_ORDER
@@ -148,52 +156,142 @@ QUICK_SCALE = BenchScale(
 
 
 # ---------------------------------------------------------------------------
-# Experiment bundles (each one parallel batch through the runner/cache)
+# Figure studies as declarative specs (see repro.api and docs/API.md).
+# The bundles below execute these exact grids via the legacy wrappers;
+# `examples/specs/` commits their JSON form (regenerated by
+# examples/specs/regen.py), so `repro study run` replays any figure.
 # ---------------------------------------------------------------------------
+
+def _scale_table_blocks(cores: int) -> Dict[str, int]:
+    """Figure-8 microbench table sizing: hold block reuse constant."""
+    return {"table_blocks": min(16 * 1024, 24 * cores)}
+
+
+def fig4_spec(scale: BenchScale = FULL_SCALE) -> StudySpec:
+    """The Figure-4/5 grid: six protocol configs x workloads x seeds."""
+    return matrix_spec(SystemConfig(num_cores=scale.fig4_cores),
+                       scale.fig4_workloads,
+                       references_per_core=scale.fig4_refs,
+                       variants=PAPER_CONFIGS, seeds=scale.fig4_seeds,
+                       name=f"fig4-grid-{scale.name}",
+                       description="Figures 4/5: runtime and traffic of "
+                                   "the six paper configurations")
+
+
+def bandwidth_spec(workload: str,
+                   scale: BenchScale = FULL_SCALE) -> StudySpec:
+    """The Figure-6/7 grid: link bandwidth x adaptivity variants."""
+    return bandwidth_sweep_spec(
+        SystemConfig(num_cores=scale.bw_cores), workload,
+        references_per_core=scale.bw_refs, bandwidths=scale.bw_points,
+        seeds=scale.bw_seeds,
+        name=f"bandwidth-{workload}-{scale.name}",
+        description=f"Figures 6/7 [{workload}]: runtime vs link "
+                    "bandwidth, Directory vs PATCH-All[-NA]")
+
+
+def scalability_spec(scale: BenchScale = FULL_SCALE) -> StudySpec:
+    """The Figure-8 grid: core count x adaptivity variants."""
+    return scalability_sweep_spec(
+        SystemConfig(num_cores=4, link_bandwidth=2.0),
+        core_counts=scale.scale_cores,
+        references_for=dict(scale.scale_refs), seeds=(1,),
+        workload_kwargs_for=_scale_table_blocks,
+        name=f"scalability-{scale.name}",
+        description="Figure 8: runtime vs core count on the "
+                    "microbenchmark (2B/cycle links)")
+
+
+def encoding_spec(num_cores: int, bounded: bool,
+                  scale: BenchScale = FULL_SCALE) -> StudySpec:
+    """The Figure-9/10 grid: sharer-encoding coarseness x protocol."""
+    bandwidth = 2.0 if bounded else 1000.0
+    return encoding_sweep_spec(
+        SystemConfig(num_cores=4, link_bandwidth=bandwidth),
+        num_cores=num_cores,
+        references_per_core=scale.enc_refs[num_cores],
+        coarseness_values=tuple(coarseness_points(num_cores)),
+        seeds=(1,), table_blocks=scale.enc_table_blocks[num_cores],
+        name=f"coarseness-{num_cores}p-"
+             f"{'bounded' if bounded else 'unbounded'}-{scale.name}",
+        description=f"Figures 9/10 [{num_cores} cores]: inexact sharer "
+                    "encodings, Directory vs PATCH")
+
+
+def scenario_spec(scale: BenchScale = FULL_SCALE) -> StudySpec:
+    """The scenario-matrix grid: sharing patterns x topologies."""
+    return _scenario_matrix_spec(
+        SystemConfig(num_cores=scale.scenario_cores),
+        scale.scenario_workloads, scale.scenario_topologies,
+        references_per_core=scale.scenario_refs,
+        seeds=scale.scenario_seeds,
+        name=f"scenario-matrix-{scale.name}",
+        description="Cross-scenario ablation: sharing patterns x "
+                    "interconnect fabrics, Directory vs PATCH-All")
+
+
+def trace_replay_spec(scale: BenchScale,
+                      trace_paths: Mapping[str, str]) -> StudySpec:
+    """The trace-replay study: each workload live, then trace-driven.
+
+    One explicit axis interleaves every workload's live generator run
+    with its recorded-trace replay (``trace_paths`` maps workload name
+    to trace file) — a trace-backed axis, replayed like any other spec.
+    """
+    points = []
+    for workload in scale.trace_workloads:
+        points.append(PointSpec(label=f"{workload}/live",
+                                workload=workload))
+        points.append(PointSpec(
+            label=f"{workload}/replay", workload="trace",
+            workload_kwargs={"path": trace_paths[workload]}))
+    base = SystemConfig(num_cores=scale.trace_cores, protocol="patch",
+                        predictor="all")
+    return StudySpec(name=f"trace-replay-{scale.name}",
+                     description="Recorded traces must replay "
+                                 "bit-identically to their live runs",
+                     base_config=config_overrides(base),
+                     references_per_core=scale.trace_refs,
+                     seeds=(scale.trace_seed,),
+                     axes=(AxisSpec("run", tuple(points)),))
+
+
+# ---------------------------------------------------------------------------
+# Experiment bundles (each one parallel batch through the runner/cache).
+# Each bundle *executes its spec twin* — the spec above is the single
+# definition of the grid — and reshapes with the same view the legacy
+# sweep wrappers use, so the return shapes are unchanged.
+# ---------------------------------------------------------------------------
+
+def _run_spec(spec, runner: Optional[ParallelRunner]):
+    return Session(runner=(runner if runner is not None
+                           else get_default_runner())).run(spec)
+
 
 def fig45_results(scale: BenchScale = FULL_SCALE,
                   runner: Optional[ParallelRunner] = None):
     """The 6-configuration x N-workload grid behind Figures 4 and 5."""
-    base = SystemConfig(num_cores=scale.fig4_cores)
-    return run_matrix(base, scale.fig4_workloads,
-                      references_per_core=scale.fig4_refs,
-                      variants=PAPER_CONFIGS, seeds=scale.fig4_seeds,
-                      runner=runner)
+    return matrix_view(_run_spec(fig4_spec(scale), runner))
 
 
 def bandwidth_results(workload: str, scale: BenchScale = FULL_SCALE,
                       runner: Optional[ParallelRunner] = None):
     """Runtime vs link bandwidth (Figures 6 and 7)."""
-    base = SystemConfig(num_cores=scale.bw_cores)
-    return bandwidth_sweep(base, workload, references_per_core=scale.bw_refs,
-                           bandwidths=scale.bw_points, seeds=scale.bw_seeds,
-                           runner=runner)
+    return bandwidth_sweep_view(
+        _run_spec(bandwidth_spec(workload, scale), runner))
 
 
 def scalability_results(scale: BenchScale = FULL_SCALE,
                         runner: Optional[ParallelRunner] = None):
     """Runtime vs core count on the microbenchmark (Figure 8)."""
-    base = SystemConfig(num_cores=4, link_bandwidth=2.0)
-    # The paper runs the 16k-entry table to steady state; our shortened
-    # reference quotas would make that all cold misses, so the table
-    # scales with N to hold block reuse (hence sharing-miss density)
-    # constant across the sweep.
-    return scalability_sweep(
-        base, core_counts=scale.scale_cores,
-        references_for=dict(scale.scale_refs), seeds=(1,),
-        workload_kwargs_for=lambda cores: {
-            "table_blocks": min(16 * 1024, 24 * cores)},
-        runner=runner)
+    return scalability_sweep_view(
+        _run_spec(scalability_spec(scale), runner))
 
 
 def scenario_matrix_results(scale: BenchScale = FULL_SCALE,
                             runner: Optional[ParallelRunner] = None):
     """The sharing-pattern x topology ablation grid (scenario matrix)."""
-    base = SystemConfig(num_cores=scale.scenario_cores)
-    return scenario_matrix(base, scale.scenario_workloads,
-                           scale.scenario_topologies,
-                           references_per_core=scale.scenario_refs,
-                           seeds=scale.scenario_seeds, runner=runner)
+    return scenario_matrix_view(_run_spec(scenario_spec(scale), runner))
 
 
 def trace_replay_results(scale: BenchScale = FULL_SCALE,
@@ -210,28 +308,25 @@ def trace_replay_results(scale: BenchScale = FULL_SCALE,
     """
     from repro.traces import record_trace, save_trace
 
-    runner = runner if runner is not None else get_default_runner()
-    base = SystemConfig(num_cores=scale.trace_cores, protocol="patch",
-                        predictor="all")
+    session = Session(runner=(runner if runner is not None
+                              else get_default_runner()))
     with contextlib.ExitStack() as stack:
         if trace_dir is None:
             out_dir = stack.enter_context(tempfile.TemporaryDirectory())
         else:
             out_dir = trace_dir
             os.makedirs(out_dir, exist_ok=True)
-        cells = []
+        trace_paths = {}
         for workload in scale.trace_workloads:
             path = os.path.join(out_dir, f"{workload}.rpt")
             save_trace(record_trace(workload, scale.trace_cores,
                                     scale.trace_refs,
                                     seed=scale.trace_seed), path)
-            cells.append(make_cell(base, workload, scale.trace_refs,
-                                   scale.trace_seed))
-            cells.append(make_cell(base, "trace", scale.trace_refs,
-                                   scale.trace_seed, path=path))
-        runs = runner.run_cells(cells)
-    return {workload: (runs[2 * i], runs[2 * i + 1])
-            for i, workload in enumerate(scale.trace_workloads)}
+            trace_paths[workload] = path
+        result = session.run(trace_replay_spec(scale, trace_paths))
+    return {workload: (result.runs_by_key[(f"{workload}/live",)][0],
+                       result.runs_by_key[(f"{workload}/replay",)][0])
+            for workload in scale.trace_workloads}
 
 
 def render_trace_replay(results):
@@ -256,15 +351,8 @@ def encoding_results(num_cores: int, bounded: bool,
                      scale: BenchScale = FULL_SCALE,
                      runner: Optional[ParallelRunner] = None):
     """Runtime/traffic vs encoding coarseness (Figures 9 and 10)."""
-    bandwidth = 2.0 if bounded else 1000.0
-    base = SystemConfig(num_cores=4, link_bandwidth=bandwidth)
-    return encoding_sweep(base, num_cores=num_cores,
-                          references_per_core=scale.enc_refs[num_cores],
-                          coarseness_values=tuple(
-                              coarseness_points(num_cores)),
-                          seeds=(1,),
-                          table_blocks=scale.enc_table_blocks[num_cores],
-                          runner=runner)
+    return encoding_sweep_view(
+        _run_spec(encoding_spec(num_cores, bounded, scale), runner))
 
 
 # ---------------------------------------------------------------------------

@@ -17,17 +17,24 @@ regenerates the paper's experiments from the shell:
     repro trace transform oltp.rpt --fold-cores 8 --out oltp8.rpt
     repro trace replay oltp8.rpt --protocol directory
     repro run --trace oltp.rpt --refs 100
+    repro study validate examples/specs/fig4_paper.json
+    repro study show examples/specs/fig4_paper.json
+    repro study run examples/specs/fig4_smoke.json --jobs 2
     repro bench --quick --jobs 4
     repro bench --perf --check
     repro list
     repro list-scenarios --kind pattern
+    repro --version
 
 The figure subcommands print the same tables the benchmark suite
 produces (the benchmarks additionally assert the paper's claims),
 ``repro scenarios`` prints the sharing-pattern x topology ablation
 matrix, ``repro trace`` records/inspects/transforms/replays access
-traces (see :mod:`repro.traces`), ``repro bench`` regenerates the
-whole figure suite with machine-readable timings, and ``repro bench
+traces (see :mod:`repro.traces`), ``repro study`` validates/inspects/
+runs declarative study specs (JSON experiment grids — see
+:mod:`repro.api` and docs/API.md; the paper's figures ship as specs
+under ``examples/specs/``), ``repro bench`` regenerates the whole
+figure suite with machine-readable timings, and ``repro bench
 --perf`` runs the engine-throughput microbench (``--check`` gates on
 the committed cycle-count goldens).  Experiment subcommands accept
 ``--jobs`` (process-pool width, default ``REPRO_JOBS`` or the CPU
@@ -43,6 +50,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import bar_chart, format_table
+from repro.api import Session, SpecError, StudySpec
 from repro.bench import (render_bandwidth, render_fig4, render_fig5,
                          render_fig8, render_scenarios, run_bench,
                          run_perf, update_perf_goldens)
@@ -143,12 +151,26 @@ def _runner_from_args(args) -> Optional[ParallelRunner]:
     return ParallelRunner(jobs=args.jobs, cache=cache)
 
 
+def package_version() -> str:
+    """The installed distribution's version, or the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+        return version("repro-token-tenure")
+    except PackageNotFoundError:
+        # Running from a source checkout (PYTHONPATH=src) without an
+        # installed distribution: fall back to the package constant.
+        from repro import __version__
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Token Tenure: PATCHing Token "
                     "Counting Using Directory-Based Cache Coherence' "
                     "(MICRO-41 2008)")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one simulation")
@@ -301,6 +323,26 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--jitter", type=_nonneg_int, default=None,
                            help="max think-time jitter in cycles "
                                 "(requires --perturb-seed; default 4)")
+
+    study = sub.add_parser(
+        "study", help="validate, inspect, and run declarative study "
+                      "specs (JSON experiment grids; see docs/API.md)")
+    stsub = study.add_subparsers(dest="study_command", required=True)
+
+    svalidate = stsub.add_parser(
+        "validate", help="check a spec file: schema version, axes, "
+                         "configs, and workload names")
+    svalidate.add_argument("spec", metavar="SPEC.json")
+
+    sshow = stsub.add_parser(
+        "show", help="print a spec's axes, grid points, and cell count")
+    sshow.add_argument("spec", metavar="SPEC.json")
+
+    srun = stsub.add_parser(
+        "run", help="run every cell of a study and print per-point "
+                    "aggregates (deterministic grid order)")
+    srun.add_argument("spec", metavar="SPEC.json")
+    _add_exec_options(srun)
 
     sub.add_parser("list", help="list workloads and configurations")
     list_scenarios = sub.add_parser(
@@ -485,6 +527,84 @@ def cmd_list_scenarios(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# `repro study` subcommands
+# ---------------------------------------------------------------------------
+
+def _study_shape(spec: StudySpec) -> str:
+    return (f"{len(spec.keys())} grid points x {len(spec.seeds)} "
+            f"seed(s) = {spec.num_cells()} cells")
+
+
+def _cmd_study_validate(args) -> int:
+    spec = StudySpec.load(args.spec)
+    print(f"ok: {args.spec}: study {spec.name!r} — {_study_shape(spec)}")
+    return 0
+
+
+def _cmd_study_show(args) -> int:
+    spec = StudySpec.load(args.spec)
+    print(f"study:     {spec.name}")
+    if spec.description:
+        print(f"about:     {spec.description}")
+    resolved = [spec.resolve(key) for key in spec.keys()]
+    workloads = sorted({point.workload for point in resolved})
+    print(f"workloads: {', '.join(workloads)}")
+    refs = sorted({point.references_per_core for point in resolved})
+    if len(refs) == 1:
+        print(f"refs/core: {refs[0]}")
+    else:
+        print(f"refs/core: per point, {refs[0]}..{refs[-1]}")
+    print(f"seeds:     {', '.join(str(seed) for seed in spec.seeds)}")
+    print(f"grid:      {spec.grid} — {_study_shape(spec)}")
+    for axis in spec.axes:
+        print(f"axis {axis.name} ({len(axis.points)} points): "
+              f"{', '.join(axis.labels)}")
+    if spec.base_config:
+        overrides = ", ".join(f"{key}={value}" for key, value
+                              in spec.base_config.items())
+        print(f"base:      {overrides}")
+    return 0
+
+
+def _cmd_study_run(args) -> int:
+    spec = StudySpec.load(args.spec)
+    result = Session().run(spec, validate=False)  # load() validated
+    axis_names = list(result.axis_names) or ["study"]
+    rows = []
+    for key in result.keys:
+        experiment = result.experiment(key)
+        ci = experiment.runtime_ci
+        rows.append(list(key) if key else [spec.name])
+        rows[-1] += [f"{ci.mean:.1f}", f"{ci.half_width:.1f}",
+                     f"{experiment.bytes_per_miss_mean:.1f}"]
+    print(format_table(f"Study {spec.name}: {_study_shape(spec)}",
+                       axis_names + ["runtime", "+-95%", "bytes/miss"],
+                       rows))
+    delta = result.cache_delta
+    if delta is not None:
+        print(f"[cache] {delta['hits']} hits, {delta['misses']} misses, "
+              f"{delta['stores']} stores")
+    return 0
+
+
+_STUDY_COMMANDS = {
+    "validate": _cmd_study_validate,
+    "show": _cmd_study_show,
+    "run": _cmd_study_run,
+}
+
+
+def cmd_study(args) -> int:
+    try:
+        return _STUDY_COMMANDS[args.study_command](args)
+    except (OSError, SpecError) as exc:
+        # Missing/corrupt spec files and schema violations are user
+        # errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ---------------------------------------------------------------------------
 # `repro trace` subcommands
 # ---------------------------------------------------------------------------
 
@@ -582,6 +702,7 @@ COMMANDS = {
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "scenarios": cmd_scenarios,
+    "study": cmd_study,
     "trace": cmd_trace,
     "bench": cmd_bench,
     "list": cmd_list,

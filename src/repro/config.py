@@ -95,9 +95,11 @@ class SystemConfig:
         # interconnect package (which registers the topologies) loads.
         from repro.interconnect.topology import TOPOLOGIES
         if self.protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.protocol!r}")
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"choose from {PROTOCOLS}")
         if self.predictor not in PREDICTORS:
-            raise ValueError(f"unknown predictor {self.predictor!r}")
+            raise ValueError(f"unknown predictor {self.predictor!r}; "
+                             f"choose from {PREDICTORS}")
         if self.topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology {self.topology!r}; "
                              f"choose from {tuple(sorted(TOPOLOGIES))}")

@@ -1,24 +1,28 @@
 """Experiment runner: seeded repetitions, confidence intervals, and the
 named protocol configurations used throughout the paper's evaluation.
 
-Every entry point here decomposes its experiment grid into independent
-(config, workload, seed) cells and submits them as one batch to a
-:class:`~repro.exec.parallel.ParallelRunner` (the process-wide default
-unless ``runner=`` is given), which fans them across worker processes
-and consults the on-disk result cache.  Batches are assembled back in
-deterministic order, so parallel runs are bit-identical to serial ones.
+Since the declarative API landed (:mod:`repro.api`), every helper here
+is a thin *spec builder*: it assembles a
+:class:`~repro.api.spec.StudySpec` describing its grid (the
+``*_spec`` functions, exposed so the same grids can be saved to JSON
+and replayed via ``repro study run``) and executes it through a
+:class:`~repro.api.session.Session` wrapping the default — or given —
+:class:`~repro.exec.parallel.ParallelRunner`.  The lowering produces
+the exact (config, workload, seed) cell batch these helpers always
+submitted, so results are bit-identical to the pre-spec code, parallel
+or serial.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import (AxisSpec, ExperimentResult, PointSpec, Session,
+                       StudySpec, config_overrides)
 from repro.config import SystemConfig
 from repro.core.results import RunResult
 from repro.exec import ParallelRunner, execute_cell, get_default_runner, \
     make_cell
-from repro.stats.ci import ConfidenceInterval, t_interval
 
 #: The six configurations of Figures 4 and 5, in the paper's order.
 PAPER_CONFIGS: Dict[str, dict] = {
@@ -41,37 +45,27 @@ ADAPTIVITY_CONFIGS: Dict[str, dict] = {
 }
 
 
-@dataclass
-class ExperimentResult:
-    """Aggregated result of several seeded runs of one configuration."""
+def variants_axis(variants: Dict[str, dict],
+                  name: str = "variant") -> AxisSpec:
+    """A named-configuration axis (e.g. over :data:`PAPER_CONFIGS`)."""
+    return AxisSpec(name, tuple(PointSpec(label=label, config=overrides)
+                                for label, overrides in variants.items()))
 
-    label: str
-    runs: List[RunResult]
 
-    @property
-    def runtime_ci(self) -> ConfidenceInterval:
-        return t_interval([run.runtime_cycles for run in self.runs])
-
-    @property
-    def runtime_mean(self) -> float:
-        return self.runtime_ci.mean
-
-    @property
-    def bytes_per_miss_mean(self) -> float:
-        values = [run.bytes_per_miss for run in self.runs]
-        return sum(values) / len(values)
-
-    def traffic_per_miss_mean(self) -> Dict[str, float]:
-        totals: Dict[str, float] = {}
-        for run in self.runs:
-            for name, value in run.traffic_per_miss().items():
-                totals[name] = totals.get(name, 0.0) + value
-        return {name: value / len(self.runs)
-                for name, value in totals.items()}
+def workloads_axis(workloads: Sequence[str],
+                   name: str = "workload") -> AxisSpec:
+    """An axis whose points select workload generators by name."""
+    return AxisSpec(name, tuple(PointSpec(label=workload,
+                                          workload=workload)
+                                for workload in workloads))
 
 
 def _resolve(runner: Optional[ParallelRunner]) -> ParallelRunner:
     return runner if runner is not None else get_default_runner()
+
+
+def _session(runner: Optional[ParallelRunner]) -> Session:
+    return Session(runner=_resolve(runner))
 
 
 def run_grouped_cells(cells: Sequence, slots: Sequence,
@@ -83,8 +77,9 @@ def run_grouped_cells(cells: Sequence, slots: Sequence,
     cell ``i`` belongs to (e.g. ``(workload, label)``).  Because
     ``run_cells`` preserves input order, each slot's run list comes back
     in cell-submission order, so grouping is deterministic regardless of
-    parallel completion order.  This is the single regrouping primitive
-    behind :func:`run_matrix` and every sweep.
+    parallel completion order.  Kept for callers with ad-hoc batches;
+    grid-shaped experiments should build a
+    :class:`~repro.api.spec.StudySpec` instead.
     """
     runs = _resolve(runner).run_cells(cells)
     grouped: Dict[object, List[RunResult]] = {}
@@ -103,6 +98,21 @@ def run_one(config: SystemConfig, workload_name: str,
                                   **workload_kwargs))
 
 
+def experiment_spec(config: SystemConfig, workload_name: str,
+                    references_per_core: int,
+                    seeds: Sequence[int] = (1, 2, 3),
+                    name: Optional[str] = None,
+                    **workload_kwargs) -> StudySpec:
+    """The axis-less study behind :func:`run_experiment`: one
+    configuration, several seeds."""
+    return StudySpec(name=name or f"experiment-{workload_name}",
+                     base_config=config_overrides(config),
+                     workload=workload_name,
+                     workload_kwargs=workload_kwargs,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds))
+
+
 def run_experiment(config: SystemConfig, workload_name: str,
                    references_per_core: int,
                    seeds: Sequence[int] = (1, 2, 3),
@@ -110,11 +120,10 @@ def run_experiment(config: SystemConfig, workload_name: str,
                    runner: Optional[ParallelRunner] = None,
                    **workload_kwargs) -> ExperimentResult:
     """Run one configuration across several seeds (paper methodology)."""
-    cells = [make_cell(config, workload_name, references_per_core, seed,
-                       **workload_kwargs)
-             for seed in seeds]
-    runs = _resolve(runner).run_cells(cells)
-    return ExperimentResult(label or config.describe(), runs)
+    spec = experiment_spec(config, workload_name, references_per_core,
+                           seeds=seeds, **workload_kwargs)
+    result = _session(runner).run(spec)
+    return result.experiment(label=label or config.describe())
 
 
 def compare_configs(base_config: SystemConfig, workload_name: str,
@@ -128,6 +137,29 @@ def compare_configs(base_config: SystemConfig, workload_name: str,
                         variants=variants, seeds=seeds, runner=runner,
                         **workload_kwargs)
     return matrix[workload_name]
+
+
+def matrix_view(result) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Reshape a :func:`matrix_spec` study into the legacy
+    ``{workload: {variant: ExperimentResult}}`` form."""
+    return result.nested(label_fn=lambda key: key[1])
+
+
+def matrix_spec(base_config: SystemConfig, workloads: Sequence[str],
+                references_per_core: int,
+                variants: Dict[str, dict] = PAPER_CONFIGS,
+                seeds: Sequence[int] = (1, 2, 3),
+                name: str = "matrix",
+                description: str = "",
+                **workload_kwargs) -> StudySpec:
+    """The (workload x variant x seed) grid behind :func:`run_matrix`."""
+    return StudySpec(name=name, description=description,
+                     base_config=config_overrides(base_config),
+                     workload_kwargs=workload_kwargs,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds),
+                     axes=(workloads_axis(workloads),
+                           variants_axis(variants)))
 
 
 def run_matrix(base_config: SystemConfig, workloads: Sequence[str],
@@ -144,21 +176,9 @@ def run_matrix(base_config: SystemConfig, workloads: Sequence[str],
     the pool overlap cells across workloads and variants, not just
     within one configuration's seeds.
     """
-    cells = []
-    slots = []  # (workload, label) per cell, aligned with `cells`
-    for workload in workloads:
-        for label, overrides in variants.items():
-            config = base_config.with_updates(**overrides)
-            for seed in seeds:
-                cells.append(make_cell(config, workload,
-                                       references_per_core, seed,
-                                       **workload_kwargs))
-                slots.append((workload, label))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {workload: {label: ExperimentResult(label,
-                                               grouped[(workload, label)])
-                       for label in variants}
-            for workload in workloads}
+    spec = matrix_spec(base_config, workloads, references_per_core,
+                       variants=variants, seeds=seeds, **workload_kwargs)
+    return matrix_view(_session(runner).run(spec))
 
 
 def normalized_runtimes(results: Dict[str, ExperimentResult],

@@ -4,20 +4,26 @@
 Each sweep returns plain dict structures so benchmarks, examples, and the
 CLI can all print the same series the paper plots.
 
-Like :mod:`repro.core.runner`, every sweep flattens its whole grid into
-one batch of independent cells and submits it to the (default or given)
+Like :mod:`repro.core.runner`, every sweep is a thin spec builder: a
+``*_spec`` function assembles the grid as a
+:class:`~repro.api.spec.StudySpec` (serializable — ``repro study run``
+replays the same JSON), and the sweep executes it through a
+:class:`~repro.api.session.Session` over the (default or given)
 :class:`~repro.exec.parallel.ParallelRunner`, so sweep points run
-concurrently and completed cells come from the on-disk cache.
+concurrently and completed cells come from the on-disk cache.  The
+lowering reproduces the legacy cell batches exactly.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api import AxisSpec, ExperimentResult, PointSpec, StudySpec, \
+    config_overrides
 from repro.config import SystemConfig
-from repro.core.runner import (ADAPTIVITY_CONFIGS, ExperimentResult,
-                               run_grouped_cells)
-from repro.exec import ParallelRunner, make_cell
+from repro.core.runner import (ADAPTIVITY_CONFIGS, _session,
+                               variants_axis, workloads_axis)
+from repro.exec import ParallelRunner
 
 #: Link bandwidths of Figures 6/7, in bytes/cycle (the paper's axis is
 #: bytes per 1000 cycles: 300 ... 8000).
@@ -37,6 +43,36 @@ def coarseness_points(num_cores: int) -> List[int]:
     return points
 
 
+def bandwidth_sweep_spec(base_config: SystemConfig, workload_name: str,
+                         references_per_core: int,
+                         bandwidths: Sequence[float] = BANDWIDTH_POINTS,
+                         seeds: Sequence[int] = (1, 2),
+                         variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                         name: str = "bandwidth-sweep",
+                         description: str = "") -> StudySpec:
+    """The (bandwidth x variant x seed) grid of Figures 6 and 7."""
+    axis = AxisSpec("bandwidth", tuple(
+        PointSpec(label=str(bandwidth),
+                  config={"link_bandwidth": bandwidth})
+        for bandwidth in bandwidths))
+    return StudySpec(name=name, description=description,
+                     base_config=config_overrides(base_config),
+                     workload=workload_name,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds),
+                     axes=(axis, variants_axis(variants)))
+
+
+def bandwidth_sweep_view(result) -> Dict[float, Dict[str, ExperimentResult]]:
+    """Reshape a :func:`bandwidth_sweep_spec` study into the legacy
+    ``{bandwidth: {variant: ExperimentResult}}`` form (float keys
+    recovered from the axis labels; ``float(str(b)) == b`` exactly)."""
+    labels = result.spec.axes[0].labels
+    return result.nested(
+        key_maps={"bandwidth": {label: float(label) for label in labels}},
+        label_fn=lambda key: key[1])
+
+
 def bandwidth_sweep(base_config: SystemConfig, workload_name: str,
                     references_per_core: int,
                     bandwidths: Sequence[float] = BANDWIDTH_POINTS,
@@ -45,20 +81,56 @@ def bandwidth_sweep(base_config: SystemConfig, workload_name: str,
                     runner: Optional[ParallelRunner] = None,
                     ) -> Dict[float, Dict[str, ExperimentResult]]:
     """Runtime vs link bandwidth (Figures 6 and 7)."""
-    cells, slots = [], []
-    for bandwidth in bandwidths:
-        for label, overrides in variants.items():
-            config = base_config.with_updates(link_bandwidth=bandwidth,
-                                              **overrides)
-            for seed in seeds:
-                cells.append(make_cell(config, workload_name,
-                                       references_per_core, seed))
-                slots.append((bandwidth, label))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {bandwidth: {label: ExperimentResult(label,
-                                                grouped[(bandwidth, label)])
-                        for label in variants}
-            for bandwidth in bandwidths}
+    spec = bandwidth_sweep_spec(base_config, workload_name,
+                                references_per_core,
+                                bandwidths=bandwidths, seeds=seeds,
+                                variants=variants)
+    return bandwidth_sweep_view(_session(runner).run(spec))
+
+
+def scalability_sweep_spec(base_config: SystemConfig,
+                           core_counts: Sequence[int],
+                           references_for: Dict[int, int],
+                           seeds: Sequence[int] = (1,),
+                           variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                           workload_name: str = "microbench",
+                           workload_kwargs_for=None,
+                           name: str = "scalability-sweep",
+                           description: str = "") -> StudySpec:
+    """The (core-count x variant x seed) grid of Figure 8.
+
+    Each core-count point carries its own reference quota
+    (``references_for``) and optional workload kwargs
+    (``workload_kwargs_for``), which is why the axis is built from
+    full per-point overrides rather than a single config field.
+    """
+    core_counts = tuple(core_counts)
+    axis = AxisSpec("cores", tuple(
+        PointSpec(label=str(cores),
+                  config={"num_cores": cores, "torus_dims": None},
+                  references_per_core=references_for[cores],
+                  workload_kwargs=(workload_kwargs_for(cores)
+                                   if workload_kwargs_for else {}))
+        for cores in core_counts))
+    # Every point carries its own quota; the spec-level default (the
+    # first point's) never applies but must be a real value for the
+    # schema.
+    default_refs = references_for[core_counts[0]] if core_counts else 0
+    return StudySpec(name=name, description=description,
+                     base_config=config_overrides(base_config),
+                     workload=workload_name,
+                     references_per_core=default_refs,
+                     seeds=tuple(seeds),
+                     axes=(axis, variants_axis(variants)))
+
+
+def scalability_sweep_view(result) -> Dict[int, Dict[str, ExperimentResult]]:
+    """Reshape a :func:`scalability_sweep_spec` study into the legacy
+    ``{cores: {variant: ExperimentResult}}`` form."""
+    labels = result.spec.axes[0].labels
+    return result.nested(
+        key_maps={"cores": {label: int(label) for label in labels}},
+        label_fn=lambda key: key[1])
 
 
 def scalability_sweep(base_config: SystemConfig,
@@ -80,21 +152,40 @@ def scalability_sweep(base_config: SystemConfig,
     microbenchmark's table with N so block reuse stays constant across
     the sweep despite the shrinking reference quotas).
     """
-    cells, slots = [], []
-    for cores in core_counts:
-        refs = references_for[cores]
-        kwargs = workload_kwargs_for(cores) if workload_kwargs_for else {}
-        for label, overrides in variants.items():
-            config = base_config.with_updates(num_cores=cores,
-                                              torus_dims=None, **overrides)
-            for seed in seeds:
-                cells.append(make_cell(config, workload_name, refs, seed,
-                                       **kwargs))
-                slots.append((cores, label))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {cores: {label: ExperimentResult(label, grouped[(cores, label)])
-                    for label in variants}
-            for cores in core_counts}
+    spec = scalability_sweep_spec(base_config, core_counts,
+                                  references_for, seeds=seeds,
+                                  variants=variants,
+                                  workload_name=workload_name,
+                                  workload_kwargs_for=workload_kwargs_for)
+    return scalability_sweep_view(_session(runner).run(spec))
+
+
+def topology_sweep_spec(base_config: SystemConfig, workload_name: str,
+                        references_per_core: int,
+                        topologies: Sequence[str] = ("torus", "mesh",
+                                                     "fully-connected"),
+                        seeds: Sequence[int] = (1,),
+                        variants: Dict[str, dict] = ADAPTIVITY_CONFIGS,
+                        name: str = "topology-sweep",
+                        description: str = "",
+                        **workload_kwargs) -> StudySpec:
+    """The (topology x variant x seed) grid behind the topology sweep."""
+    axis = AxisSpec("topology", tuple(
+        PointSpec(label=topology, config={"topology": topology})
+        for topology in topologies))
+    return StudySpec(name=name, description=description,
+                     base_config=config_overrides(base_config),
+                     workload=workload_name,
+                     workload_kwargs=workload_kwargs,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds),
+                     axes=(axis, variants_axis(variants)))
+
+
+def topology_sweep_view(result) -> Dict[str, Dict[str, ExperimentResult]]:
+    """Reshape a :func:`topology_sweep_spec` study into the legacy
+    ``{topology: {variant: ExperimentResult}}`` form."""
+    return result.nested(label_fn=lambda key: f"{key[1]}@{key[0]}")
 
 
 def topology_sweep(base_config: SystemConfig, workload_name: str,
@@ -113,20 +204,44 @@ def topology_sweep(base_config: SystemConfig, workload_name: str,
     ``workload_kwargs`` flow into every cell (e.g. ``path=...`` to
     sweep a recorded trace across fabrics).
     """
-    cells, slots = [], []
-    for topology in topologies:
-        for label, overrides in variants.items():
-            config = base_config.with_updates(topology=topology, **overrides)
-            for seed in seeds:
-                cells.append(make_cell(config, workload_name,
-                                       references_per_core, seed,
-                                       **workload_kwargs))
-                slots.append((topology, label))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {topology: {label: ExperimentResult(f"{label}@{topology}",
-                                               grouped[(topology, label)])
-                       for label in variants}
-            for topology in topologies}
+    spec = topology_sweep_spec(base_config, workload_name,
+                               references_per_core,
+                               topologies=topologies, seeds=seeds,
+                               variants=variants, **workload_kwargs)
+    return topology_sweep_view(_session(runner).run(spec))
+
+
+def scenario_matrix_spec(base_config: SystemConfig,
+                         workloads: Sequence[str],
+                         topologies: Sequence[str],
+                         references_per_core: int,
+                         seeds: Sequence[int] = (1,),
+                         variants: Optional[Dict[str, dict]] = None,
+                         name: str = "scenario-matrix",
+                         description: str = "",
+                         **workload_kwargs) -> StudySpec:
+    """The (workload x topology x variant x seed) scenario grid."""
+    if variants is None:
+        variants = {"Directory": {"protocol": "directory"},
+                    "PATCH-All": {"protocol": "patch", "predictor": "all"}}
+    topology_axis = AxisSpec("topology", tuple(
+        PointSpec(label=topology, config={"topology": topology})
+        for topology in topologies))
+    return StudySpec(name=name, description=description,
+                     base_config=config_overrides(base_config),
+                     workload_kwargs=workload_kwargs,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds),
+                     axes=(workloads_axis(workloads), topology_axis,
+                           variants_axis(variants)))
+
+
+def scenario_matrix_view(result
+                         ) -> Dict[str, Dict[str, Dict[str, ExperimentResult]]]:
+    """Reshape a :func:`scenario_matrix_spec` study into the legacy
+    ``{workload: {topology: {variant: ExperimentResult}}}`` form."""
+    return result.nested(
+        label_fn=lambda key: f"{key[2]}[{key[0]}@{key[1]}]")
 
 
 def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
@@ -152,27 +267,49 @@ def scenario_matrix(base_config: SystemConfig, workloads: Sequence[str],
     incompatible constructor knobs (e.g. ``"trace"`` plus a generator)
     in one grid — submit them as separate calls instead.
     """
-    if variants is None:
-        variants = {"Directory": {"protocol": "directory"},
-                    "PATCH-All": {"protocol": "patch", "predictor": "all"}}
-    cells, slots = [], []
-    for workload in workloads:
-        for topology in topologies:
-            for label, overrides in variants.items():
-                config = base_config.with_updates(topology=topology,
-                                                  **overrides)
-                for seed in seeds:
-                    cells.append(make_cell(config, workload,
-                                           references_per_core, seed,
-                                           **workload_kwargs))
-                    slots.append((workload, topology, label))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {workload: {topology: {label: ExperimentResult(
-                           f"{label}[{workload}@{topology}]",
-                           grouped[(workload, topology, label)])
-                       for label in variants}
-                       for topology in topologies}
-            for workload in workloads}
+    spec = scenario_matrix_spec(base_config, workloads, topologies,
+                                references_per_core, seeds=seeds,
+                                variants=variants, **workload_kwargs)
+    return scenario_matrix_view(_session(runner).run(spec))
+
+
+def encoding_sweep_spec(base_config: SystemConfig, num_cores: int,
+                        references_per_core: int,
+                        coarseness_values: Sequence[int],
+                        seeds: Sequence[int] = (1,),
+                        workload_name: str = "microbench",
+                        name: str = "encoding-sweep",
+                        description: str = "",
+                        **workload_kwargs) -> StudySpec:
+    """The (coarseness x protocol x seed) grid of Figures 9 and 10."""
+    coarseness_axis = AxisSpec("coarseness", tuple(
+        PointSpec(label=f"1:{coarseness}",
+                  config={"encoding_coarseness": coarseness})
+        for coarseness in coarseness_values))
+    protocol_axis = AxisSpec("protocol", (
+        PointSpec(label="Directory", config={"protocol": "directory"}),
+        PointSpec(label="PATCH", config={"protocol": "patch"})))
+    base = dict(config_overrides(base_config))
+    base.update(num_cores=num_cores, torus_dims=None, predictor="none")
+    return StudySpec(name=name, description=description,
+                     base_config=base,
+                     workload=workload_name,
+                     workload_kwargs=workload_kwargs,
+                     references_per_core=references_per_core,
+                     seeds=tuple(seeds),
+                     axes=(coarseness_axis, protocol_axis))
+
+
+def encoding_sweep_view(result) -> Dict[str, Dict[int, ExperimentResult]]:
+    """Reshape an :func:`encoding_sweep_spec` study into the legacy
+    ``{protocol-label: {coarseness: ExperimentResult}}`` form
+    (coarseness keys recovered from the ``1:k`` axis labels)."""
+    labels = result.spec.axes[0].labels
+    return result.nested(
+        order=("protocol", "coarseness"),
+        key_maps={"coarseness": {label: int(label.split(":", 1)[1])
+                                 for label in labels}},
+        label_fn=lambda key: f"{key[1]}-{key[0]}")
 
 
 def encoding_sweep(base_config: SystemConfig, num_cores: int,
@@ -184,21 +321,8 @@ def encoding_sweep(base_config: SystemConfig, num_cores: int,
                    **workload_kwargs,
                    ) -> Dict[str, Dict[int, ExperimentResult]]:
     """Runtime/traffic vs sharer-encoding coarseness (Figures 9 and 10)."""
-    pairs = (("Directory", "directory"), ("PATCH", "patch"))
-    cells, slots = [], []
-    for coarseness in coarseness_values:
-        for label, protocol in pairs:
-            config = base_config.with_updates(
-                num_cores=num_cores, torus_dims=None, protocol=protocol,
-                predictor="none", encoding_coarseness=coarseness)
-            for seed in seeds:
-                cells.append(make_cell(config, workload_name,
-                                       references_per_core, seed,
-                                       **workload_kwargs))
-                slots.append((label, coarseness))
-    grouped = run_grouped_cells(cells, slots, runner)
-    return {label: {coarseness: ExperimentResult(
-                        f"{label}-1:{coarseness}",
-                        grouped[(label, coarseness)])
-                    for coarseness in coarseness_values}
-            for label, _ in pairs}
+    spec = encoding_sweep_spec(base_config, num_cores,
+                               references_per_core, coarseness_values,
+                               seeds=seeds, workload_name=workload_name,
+                               **workload_kwargs)
+    return encoding_sweep_view(_session(runner).run(spec))

@@ -23,7 +23,8 @@ from typing import Optional
 from repro.exec.cache import (CACHE_DIR_ENV, CODE_VERSION_ENV, NO_CACHE_ENV,
                               ResultCache, cache_key, code_version,
                               default_cache_dir)
-from repro.exec.cells import Cell, cell_to_dict, execute_cell, make_cell
+from repro.exec.cells import (Cell, cell_from_dict, cell_to_dict,
+                              execute_cell, make_cell)
 from repro.exec.parallel import (JOBS_ENV, CellExecutionError, ParallelRunner,
                                  default_jobs)
 from repro.exec.serialization import (run_result_from_dict,
@@ -34,7 +35,8 @@ from repro.exec.serialization import (run_result_from_dict,
 __all__ = [
     "CACHE_DIR_ENV", "CODE_VERSION_ENV", "JOBS_ENV", "NO_CACHE_ENV",
     "Cell", "CellExecutionError", "ParallelRunner", "ResultCache",
-    "cache_key", "cell_to_dict", "code_version", "default_cache_dir",
+    "cache_key", "cell_from_dict", "cell_to_dict", "code_version",
+    "default_cache_dir",
     "default_jobs", "execute_cell", "get_default_runner", "make_cell",
     "run_result_from_dict", "run_result_to_dict", "running_stat_from_dict",
     "running_stat_to_dict", "set_default_runner",

@@ -46,7 +46,11 @@ def make_cell(config: SystemConfig, workload_name: str,
 def cell_to_dict(cell: Cell) -> Dict[str, Any]:
     """JSON-safe description of a cell (used for cache keys and files)."""
     config = asdict(cell.config)
-    config["torus_dims"] = list(config["torus_dims"])
+    # torus_dims is derived in __post_init__, but stay robust to a
+    # config captured before derivation (e.g. dataclasses.replace
+    # intermediates): None serializes as null and round-trips.
+    if config["torus_dims"] is not None:
+        config["torus_dims"] = list(config["torus_dims"])
     return {
         "config": config,
         "workload": cell.workload,
@@ -55,6 +59,27 @@ def cell_to_dict(cell: Cell) -> Dict[str, Any]:
         "check_integrity": cell.check_integrity,
         "workload_kwargs": [list(pair) for pair in cell.workload_kwargs],
     }
+
+
+def cell_from_dict(data: Dict[str, Any]) -> Cell:
+    """Rebuild a :class:`Cell` from :func:`cell_to_dict` output.
+
+    The inverse direction of the JSON round-trip: cache entries and
+    study artifacts store cells in dict form, and
+    ``cell_from_dict(cell_to_dict(cell)) == cell`` for any valid cell.
+    """
+    config = dict(data["config"])
+    if config.get("torus_dims") is not None:
+        config["torus_dims"] = tuple(config["torus_dims"])
+    return Cell(
+        config=SystemConfig(**config),
+        workload=str(data["workload"]),
+        references_per_core=int(data["references_per_core"]),
+        seed=int(data["seed"]),
+        check_integrity=bool(data["check_integrity"]),
+        workload_kwargs=tuple((key, value) for key, value
+                              in data["workload_kwargs"]),
+    )
 
 
 def execute_cell(cell: Cell) -> RunResult:

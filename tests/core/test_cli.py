@@ -183,7 +183,7 @@ def _documented_invocations(text):
 
 
 @pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md",
-                                 "docs/PERFORMANCE.md"])
+                                 "docs/PERFORMANCE.md", "docs/API.md"])
 def test_documented_cli_recipes_exist(doc):
     """Anti-drift: every `repro` invocation in the docs must parse."""
     subcommands = _subcommands()
@@ -455,6 +455,145 @@ def test_bench_perf_rejects_seed(capsys):
 def test_trace_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["trace"])
+
+
+# ---------------------------------------------------------------------------
+# repro --version
+# ---------------------------------------------------------------------------
+
+def test_version_flag_prints_package_version(capsys):
+    from repro.cli import package_version
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out.strip()
+    assert out == f"repro {package_version()}"
+    assert re.fullmatch(r"repro \d+\.\d+(\.\d+.*)?", out)
+
+
+def test_package_version_matches_source_tree():
+    # Installed metadata (CI) or the source fallback (PYTHONPATH runs)
+    # must both yield a real version string.
+    import repro
+    from repro.cli import package_version
+    version = package_version()
+    assert version
+    # The source constant only diverges from metadata if an older
+    # build is installed alongside a newer checkout; in this repo's
+    # CI both come from the same pyproject.
+    assert version == repro.__version__ or version.count(".") >= 1
+
+
+# ---------------------------------------------------------------------------
+# repro study validate | show | run
+# ---------------------------------------------------------------------------
+
+SPEC_DIR = REPO_ROOT / "examples" / "specs"
+SMOKE_SPEC = str(SPEC_DIR / "fig4_smoke.json")
+
+
+def _tiny_spec_file(tmp_path, seeds=(1,)):
+    from repro.api import AxisSpec, PointSpec, StudySpec
+    spec = StudySpec(
+        name="cli-tiny", base_config={"num_cores": 4},
+        workload="microbench", references_per_core=8, seeds=seeds,
+        axes=(AxisSpec("variant", (
+            PointSpec("Directory", config={"protocol": "directory"}),
+            PointSpec("PATCH-All", config={"protocol": "patch",
+                                           "predictor": "all"}))),))
+    path = tmp_path / "tiny.json"
+    spec.save(path)
+    return str(path)
+
+
+def test_study_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["study"])
+
+
+def test_study_validate_committed_spec(capsys):
+    assert main(["study", "validate", SMOKE_SPEC]) == 0
+    out = capsys.readouterr().out
+    assert "ok:" in out and "fig4-smoke" in out and "cells" in out
+
+
+def test_study_validate_missing_file(capsys):
+    assert main(["study", "validate", "no-such-spec.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_study_validate_rejects_bad_spec(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"spec_schema": 1, "name": "x", '
+                   '"references_per_core": 5, "workload": "nope"}')
+    assert main(["study", "validate", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "unknown workload" in err
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert main(["study", "validate", str(corrupt)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+    # Regression: malformed nested shapes are clean errors, not
+    # tracebacks.
+    mangled = tmp_path / "mangled.json"
+    mangled.write_text('{"spec_schema": 1, "name": "x", '
+                       '"references_per_core": 5, '
+                       '"workload": "microbench", '
+                       '"workload_kwargs": "oops"}')
+    assert main(["study", "validate", str(mangled)]) == 2
+    assert "workload_kwargs" in capsys.readouterr().err
+
+
+def test_study_show_reports_per_point_refs(tmp_path, capsys):
+    from repro.config import SystemConfig
+    from repro.core.sweeps import scalability_sweep_spec
+    spec = scalability_sweep_spec(SystemConfig(num_cores=4), (4, 8),
+                                  {4: 20, 8: 10})
+    path = tmp_path / "scale.json"
+    spec.save(path)
+    assert main(["study", "show", str(path)]) == 0
+    assert "refs/core: per point, 10..20" in capsys.readouterr().out
+
+
+def test_study_show_prints_axes_and_shape(capsys):
+    assert main(["study", "show", SMOKE_SPEC]) == 0
+    out = capsys.readouterr().out
+    assert "fig4-smoke" in out
+    assert "axis workload" in out and "axis variant" in out
+    assert "Token Coherence" in out
+    assert "24 cells" in out
+
+
+def test_study_run_prints_deterministic_table(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    argv = ["study", "run", path, "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "Study cli-tiny" in first
+    assert "Directory" in first and "PATCH-All" in first
+    assert "[cache] 0 hits, 2 misses, 2 stores" in first
+    # Second run: identical table, all cells served from cache.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "[cache] 2 hits, 0 misses, 0 stores" in second
+    table = lambda text: [line for line in text.splitlines()  # noqa: E731
+                          if not line.startswith("[cache]")]
+    assert table(first) == table(second)
+
+
+def test_study_run_no_cache_omits_cache_line(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    assert main(["study", "run", path, "--jobs", "1",
+                 "--no-cache"]) == 0
+    assert "[cache]" not in capsys.readouterr().out
+
+
+def test_study_run_reports_spec_errors_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x"}')
+    assert main(["study", "run", str(bad), "--no-cache"]) == 2
+    assert "spec_schema" in capsys.readouterr().err
 
 
 def test_run_workload_choices_exclude_trace():

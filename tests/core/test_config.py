@@ -61,6 +61,42 @@ def test_unknown_predictor_rejected():
         SystemConfig(predictor="psychic")
 
 
+# ---------------------------------------------------------------------------
+# Choice-field validation errors must list the valid names (regression:
+# they used to fail with just the bad value, or deep inside the
+# protocol/topology lookup)
+# ---------------------------------------------------------------------------
+
+def test_unknown_protocol_message_lists_choices():
+    from repro.config import PROTOCOLS
+    with pytest.raises(ValueError) as excinfo:
+        SystemConfig(protocol="mesi")
+    message = str(excinfo.value)
+    assert "'mesi'" in message and "choose from" in message
+    for name in PROTOCOLS:
+        assert name in message
+
+
+def test_unknown_predictor_message_lists_choices():
+    from repro.config import PREDICTORS
+    with pytest.raises(ValueError) as excinfo:
+        SystemConfig(predictor="psychic")
+    message = str(excinfo.value)
+    assert "'psychic'" in message and "choose from" in message
+    for name in PREDICTORS:
+        assert name in message
+
+
+def test_unknown_topology_message_lists_choices():
+    from repro.interconnect.topology import topology_names
+    with pytest.raises(ValueError) as excinfo:
+        SystemConfig(topology="hypercube")
+    message = str(excinfo.value)
+    assert "'hypercube'" in message and "choose from" in message
+    for name in topology_names():
+        assert name in message
+
+
 def test_coarseness_bounds():
     SystemConfig(num_cores=16, encoding_coarseness=16)
     with pytest.raises(ValueError):

@@ -93,3 +93,52 @@ def test_experiment_result_traffic_means():
     per_miss = experiment.traffic_per_miss_mean()
     assert per_miss["Data"] > 0
     assert experiment.bytes_per_miss_mean > 0
+
+
+# ---------------------------------------------------------------------------
+# ExperimentResult aggregation edge cases
+# ---------------------------------------------------------------------------
+
+def _zero_miss_run():
+    """A fabricated run in which every reference hit."""
+    from repro.core.results import RunResult
+    from repro.stats.counters import RunningStat
+    return RunResult(config_summary="synthetic", runtime_cycles=1000,
+                     total_references=64, hits=64, misses=0,
+                     read_misses=0, write_misses=0, traffic_bytes={},
+                     traffic_bytes_raw={}, dropped_direct_requests=0,
+                     miss_latency=RunningStat(), link_utilization=0.0,
+                     cache_stats={}, home_stats={}, events_processed=64)
+
+
+def test_single_seed_run_degenerate_t_interval():
+    """n=1: the t-interval collapses to a zero-width CI, not an error."""
+    experiment = run_experiment(SMALL, "microbench",
+                                references_per_core=15, seeds=(1,))
+    ci = experiment.runtime_ci
+    assert ci.n == 1
+    assert ci.half_width == 0.0
+    assert ci.low == ci.high == ci.mean == experiment.runtime_mean
+    assert ci.mean == experiment.runs[0].runtime_cycles
+
+
+def test_zero_miss_runs_aggregate_to_zero_not_nan():
+    """misses=0: per-miss means must be 0.0, never a ZeroDivisionError."""
+    experiment = ExperimentResult("all-hits",
+                                  [_zero_miss_run(), _zero_miss_run()])
+    assert experiment.bytes_per_miss_mean == 0.0
+    per_miss = experiment.traffic_per_miss_mean()
+    assert per_miss  # the Figure-5 groups are all present...
+    assert set(per_miss.values()) == {0.0}  # ...and all zero
+
+
+def test_mixed_zero_and_nonzero_miss_runs_average():
+    """A zero-miss seed among normal seeds averages in as zero."""
+    live = run_experiment(SMALL, "microbench", references_per_core=15,
+                          seeds=(1,)).runs[0]
+    assert live.misses > 0
+    experiment = ExperimentResult("mixed", [live, _zero_miss_run()])
+    assert experiment.bytes_per_miss_mean == pytest.approx(
+        live.bytes_per_miss / 2)
+    assert experiment.traffic_per_miss_mean()["Data"] == pytest.approx(
+        live.traffic_per_miss()["Data"] / 2)
