@@ -27,11 +27,11 @@ paper's figures as committed specs.  See docs/API.md.
 from repro.api.result import ExperimentResult, StudyKey, StudyResult
 from repro.api.session import Session
 from repro.api.spec import (AxisSpec, PointSpec, ResolvedPoint,
-                            SPEC_SCHEMA, SpecError, StudySpec,
-                            config_overrides)
+                            SPEC_SCHEMA, SUPPORTED_SPEC_SCHEMAS,
+                            SpecError, StudySpec, config_overrides)
 
 __all__ = [
     "AxisSpec", "ExperimentResult", "PointSpec", "ResolvedPoint",
-    "SPEC_SCHEMA", "Session", "SpecError", "StudyKey", "StudyResult",
-    "StudySpec", "config_overrides",
+    "SPEC_SCHEMA", "SUPPORTED_SPEC_SCHEMAS", "Session", "SpecError",
+    "StudyKey", "StudyResult", "StudySpec", "config_overrides",
 ]

@@ -76,6 +76,9 @@ class StudyResult:
     runs_by_key: Dict[StudyKey, List[RunResult]]
     cache_delta: Optional[Dict[str, int]] = None
     jobs: int = 1
+    #: Name of the execution backend the session resolved for this
+    #: study (``None`` for results built outside a Session).
+    executor: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property

@@ -2,17 +2,32 @@
 
 A :class:`Session` wraps the pieces every entry point used to wire by
 hand — a :class:`~repro.exec.parallel.ParallelRunner`, its worker
-count, and the on-disk :class:`~repro.exec.cache.ResultCache` — and
-exposes one operation: :meth:`Session.run` takes a validated
-:class:`~repro.api.spec.StudySpec`, lowers it to its cell batch,
-submits the batch once (so the pool overlaps every grid point), and
-returns a :class:`~repro.api.result.StudyResult` with the runs grouped
-back per grid point and the cache activity attributable to the study.
+count and executor backend, and the on-disk
+:class:`~repro.exec.cache.ResultCache` — and exposes study-level
+operations over them:
+
+* :meth:`Session.run` lowers a validated
+  :class:`~repro.api.spec.StudySpec` to its cell batch, submits it once
+  (so the pool overlaps every grid point), and returns a
+  :class:`~repro.api.result.StudyResult` with the runs grouped back per
+  grid point and the cache activity attributable to the study.
+* :meth:`Session.advance` executes at most ``limit`` of the study's
+  missing cells and stops — the chunked-execution primitive behind
+  ``repro study run --max-cells``.
+* :meth:`Session.status` reports a study's recorded progress without
+  running anything.
+
+Every cached run records progress in a per-study *manifest* (see
+:mod:`repro.exec.manifest`) stored beside the result cache, which is
+what makes ``resume=True`` meaningful: a partially-run grid picks up
+only its missing cells, and a failed cell is recorded (with its error)
+for ``repro study status`` to report and the next resume to retry.
 
 Construction mirrors the CLI's execution flags::
 
     Session()                      # the process default runner
     Session(jobs=4)                # 4 workers, environment cache policy
+    Session(executor="serial")     # pick the execution backend
     Session(no_cache=True)         # never touch the on-disk cache
     Session(cache_dir="/tmp/c")    # explicit cache location
     Session(runner=my_runner)      # wrap an existing runner verbatim
@@ -21,13 +36,14 @@ Construction mirrors the CLI's execution flags::
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.api.result import StudyResult
 from repro.api.spec import StudySpec
 from repro.core.results import RunResult
-from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
-                        get_default_runner)
+from repro.exec import (NO_CACHE_ENV, CellExecutionError, Executor,
+                        ManifestStore, ParallelRunner, ResultCache,
+                        StudyManifest, code_version, get_default_runner)
 from repro.exec.cells import Cell
 
 
@@ -38,16 +54,18 @@ class Session:
                  jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  cache_dir: Optional[os.PathLike] = None,
-                 no_cache: bool = False) -> None:
+                 no_cache: bool = False,
+                 executor: Union[None, str, Executor] = None) -> None:
         if runner is not None:
             if jobs is not None or cache is not None \
-                    or cache_dir is not None or no_cache:
+                    or cache_dir is not None or no_cache \
+                    or executor is not None:
                 raise ValueError("pass either 'runner' or the "
-                                 "jobs/cache/cache_dir/no_cache knobs, "
-                                 "not both")
+                                 "jobs/cache/cache_dir/no_cache/executor "
+                                 "knobs, not both")
             self.runner = runner
         elif jobs is None and cache is None and cache_dir is None \
-                and not no_cache:
+                and not no_cache and executor is None:
             self.runner = get_default_runner()
         else:
             if no_cache:
@@ -57,7 +75,8 @@ class Session:
                     cache = ResultCache(cache_dir)
                 elif not os.environ.get(NO_CACHE_ENV):
                     cache = ResultCache()
-            self.runner = ParallelRunner(jobs=jobs, cache=cache)
+            self.runner = ParallelRunner(jobs=jobs, cache=cache,
+                                         executor=executor)
 
     # ------------------------------------------------------------------
     @property
@@ -72,26 +91,85 @@ class Session:
         """Lifetime stats of the underlying cache (None when uncached)."""
         return self.cache.stats() if self.cache is not None else None
 
+    def executor_name(self, spec: Optional[StudySpec] = None) -> str:
+        """The backend a run of ``spec`` would use (resolution order:
+        runner's explicit executor, then the spec's ``executor`` field,
+        then ``REPRO_EXECUTOR``, then ``local``)."""
+        return self.runner.resolve_executor(
+            spec.executor if spec is not None else None).name
+
     # ------------------------------------------------------------------
     def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
         """Raw batch submission (input order preserved, cache-aware)."""
         return self.runner.run_cells(cells)
 
-    def run(self, spec: StudySpec, validate: bool = True) -> StudyResult:
+    # ------------------------------------------------------------------
+    # Manifest plumbing
+    # ------------------------------------------------------------------
+    def manifest_store(self) -> Optional[ManifestStore]:
+        """The manifest store beside the cache (None when uncached)."""
+        if self.cache is None:
+            return None
+        return ManifestStore(self.cache.root)
+
+    def status(self, spec: StudySpec) -> Optional[StudyManifest]:
+        """The study's recorded progress, or None if never recorded.
+
+        Raises ``ValueError`` for uncached sessions: without a result
+        cache there is nowhere to record (or resume) progress.
+        """
+        store = self.manifest_store()
+        if store is None:
+            raise ValueError("study status/resume needs the result cache "
+                             "(drop --no-cache / REPRO_NO_CACHE)")
+        from repro.exec.manifest import spec_digest
+        return store.load(spec_digest(spec))
+
+    def _open_manifest(self, store: ManifestStore, spec: StudySpec,
+                      resume: bool) -> StudyManifest:
+        """Continue the stored manifest (resume) or start a fresh one.
+
+        A resumed manifest must describe exactly this spec's grid;
+        failed cells are reset to pending so they retry.  Resuming a
+        study that was never recorded simply starts fresh — resume is
+        an intent, not a precondition.
+        """
+        manifest = store.load(spec_digest_of(spec)) if resume else None
+        if manifest is None or not manifest.matches(spec):
+            manifest = StudyManifest.fresh(spec, code_version())
+        else:
+            for index, cell in enumerate(manifest.cells):
+                if cell.state == "failed":
+                    manifest.mark(index, "pending")
+            if manifest.code_version != code_version():
+                # Stale results live in an old cache generation: the
+                # probe below will miss and re-run them; the manifest
+                # just follows along.
+                manifest.code_version = code_version()
+        store.save(manifest)
+        return manifest
+
+    # ------------------------------------------------------------------
+    def run(self, spec: StudySpec, validate: bool = True,
+            resume: bool = False) -> StudyResult:
         """Execute every cell of ``spec`` as one batch.
 
         The study's cells are submitted together — grid order, seeds
         innermost — so the pool overlaps all grid points and each cell
         hits the result cache independently; the returned
         :class:`StudyResult` reports how many of this study's cells
-        were cache hits vs fresh simulations (``cache_delta``).
+        were cache hits vs fresh simulations (``cache_delta``) and the
+        executor backend used.  With ``resume=True`` the study's
+        manifest is continued rather than restarted: cells recorded
+        done load from the cache and only the missing ones execute.
         """
         if validate:
             spec.validate()
         groups = spec.cell_groups()
         cells = [cell for _, cells in groups for cell in cells]
+        executor = self.runner.resolve_executor(spec.executor)
         before = self.cache_stats()
-        runs = self.runner.run_cells(cells)
+        runs = self._run_tracked(spec, cells, executor, resume=resume)
         after = self.cache_stats()
         delta = (None if before is None
                  else {key: after[key] - before[key] for key in after})
@@ -104,4 +182,78 @@ class Session:
                            keys=tuple(key for key, _ in groups),
                            runs_by_key=runs_by_key,
                            cache_delta=delta,
-                           jobs=self.jobs)
+                           jobs=self.jobs,
+                           executor=executor.name)
+
+    def advance(self, spec: StudySpec, limit: Optional[int] = None,
+                validate: bool = True) -> StudyManifest:
+        """Execute at most ``limit`` missing cells, then stop.
+
+        Chunked execution: cells already recorded done (or already in
+        the cache) are confirmed, the first ``limit`` missing cells run
+        and are recorded, and the rest stay pending for the next
+        ``advance``/``resume``.  Always continues the existing manifest
+        when one matches.  Returns the updated manifest; requires a
+        cached session (see :meth:`status`).
+        """
+        if self.cache is None:
+            raise ValueError("partial execution (--max-cells) needs the "
+                             "result cache (drop --no-cache / "
+                             "REPRO_NO_CACHE)")
+        if validate:
+            spec.validate()
+        cells = spec.cells()
+        executor = self.runner.resolve_executor(spec.executor)
+        return self._advance_tracked(spec, cells, executor, limit)
+
+    # ------------------------------------------------------------------
+    def _run_tracked(self, spec: StudySpec, cells: Sequence[Cell],
+                     executor: Executor, resume: bool) -> List[RunResult]:
+        """Run the full batch, recording per-cell progress."""
+        store = self.manifest_store()
+        if store is None:
+            return self.runner.run_cells(cells, executor=executor)
+        manifest = self._open_manifest(store, spec, resume)
+        try:
+            runs = self.runner.run_cells(
+                cells, executor=executor,
+                on_result=lambda index, _result, _fresh:
+                    manifest.mark(index, "done"))
+        except CellExecutionError as exc:
+            self._record_failure(manifest, cells, exc)
+            store.save(manifest)
+            raise
+        store.save(manifest)
+        return runs
+
+    def _advance_tracked(self, spec: StudySpec, cells: Sequence[Cell],
+                         executor: Executor,
+                         limit: Optional[int]) -> StudyManifest:
+        store = self.manifest_store()
+        manifest = self._open_manifest(store, spec, resume=True)
+        try:
+            self.runner.run_cells(
+                cells, executor=executor, limit=limit,
+                on_result=lambda index, _result, _fresh:
+                    manifest.mark(index, "done"))
+        except CellExecutionError as exc:
+            self._record_failure(manifest, cells, exc)
+            store.save(manifest)
+            raise
+        store.save(manifest)
+        return manifest
+
+    @staticmethod
+    def _record_failure(manifest: StudyManifest, cells: Sequence[Cell],
+                        exc: CellExecutionError) -> None:
+        try:
+            index = list(cells).index(exc.cell)
+        except ValueError:  # pragma: no cover - foreign cell in error
+            return
+        manifest.mark(index, "failed", error=str(exc.cause or exc))
+
+
+def spec_digest_of(spec: StudySpec) -> str:
+    """Convenience re-export of :func:`repro.exec.manifest.spec_digest`."""
+    from repro.exec.manifest import spec_digest
+    return spec_digest(spec)

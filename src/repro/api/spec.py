@@ -36,9 +36,16 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.config import SystemConfig, torus_dims_for
 from repro.exec.cells import Cell, make_cell
 
-#: Bump when the on-disk spec shape changes; old files fail validation
-#: with a pointed message instead of misloading.
-SPEC_SCHEMA = 1
+#: Bump when the on-disk spec shape changes.  Writes always use the
+#: newest schema; reads accept every version in
+#: :data:`SUPPORTED_SPEC_SCHEMAS` (older schemas are strict subsets, so
+#: a v1 file loads unchanged), and anything else fails validation with
+#: a pointed message instead of misloading.
+#:
+#: History: 2 added the optional ``executor`` field (execution-backend
+#: preference; see docs/EXECUTION.md).
+SPEC_SCHEMA = 2
+SUPPORTED_SPEC_SCHEMAS = (1, SPEC_SCHEMA)
 
 #: Valid ``SystemConfig`` override keys (``seed`` is excluded: the
 #: spec's ``seeds`` list owns seeding, and cells fold it per run).
@@ -214,6 +221,12 @@ class StudySpec:
     grid: str = "cross"
     points: Optional[Tuple[Tuple[str, ...], ...]] = None
     check_integrity: bool = True
+    #: Preferred execution backend (a :mod:`repro.exec.executors` name).
+    #: ``None`` defers to the CLI/environment; an explicit CLI
+    #: ``--executor`` always wins over the spec.  Deliberately excluded
+    #: from the study's manifest digest: switching backends must never
+    #: orphan a partially-run study's progress.
+    executor: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "base_config",
@@ -287,6 +300,13 @@ class StudySpec:
                         f"axis {axis.name!r}, point {point.label!r}: "
                         "'references_per_core' must be a non-negative "
                         "integer")
+        if self.executor is not None:
+            from repro.exec.executors import executor_names
+            if self.executor not in executor_names():
+                raise SpecError(
+                    f"'executor' must name a registered execution "
+                    f"backend ({', '.join(executor_names())}), got "
+                    f"{self.executor!r}")
         if self.grid not in ("cross", "explicit"):
             raise SpecError(f"'grid' must be 'cross' or 'explicit', "
                             f"got {self.grid!r}")
@@ -420,6 +440,8 @@ class StudySpec:
             out["points"] = [list(point) for point in self.points]
         if not self.check_integrity:
             out["check_integrity"] = False
+        if self.executor is not None:
+            out["executor"] = self.executor
         return out
 
     @classmethod
@@ -429,15 +451,16 @@ class StudySpec:
             raise SpecError("a study spec must be a JSON object, got "
                             f"{type(data).__name__}")
         schema = data.get("spec_schema")
-        if schema != SPEC_SCHEMA:
+        if schema not in SUPPORTED_SPEC_SCHEMAS:
+            supported = ", ".join(str(s) for s in SUPPORTED_SPEC_SCHEMAS)
             raise SpecError(
                 f"unsupported spec_schema {schema!r}; this build reads "
-                f"spec_schema {SPEC_SCHEMA} (is the file from a newer "
+                f"spec_schema {supported} (is the file from a newer "
                 "version, or missing the 'spec_schema' field?)")
         _require(data, ("spec_schema", "name", "description",
                         "base_config", "workload", "workload_kwargs",
                         "references_per_core", "seeds", "axes", "grid",
-                        "points", "check_integrity"), "spec")
+                        "points", "check_integrity", "executor"), "spec")
         if "references_per_core" not in data:
             raise SpecError("spec is missing 'references_per_core'")
         axes_data = data.get("axes", [])
@@ -463,7 +486,8 @@ class StudySpec:
                    axes=axes,
                    grid=data.get("grid", "cross"),
                    points=points,
-                   check_integrity=data.get("check_integrity", True))
+                   check_integrity=data.get("check_integrity", True),
+                   executor=data.get("executor"))
         return spec.validate()
 
     def to_json(self) -> str:

@@ -20,6 +20,10 @@ regenerates the paper's experiments from the shell:
     repro study validate examples/specs/fig4_paper.json
     repro study show examples/specs/fig4_paper.json
     repro study run examples/specs/fig4_smoke.json --jobs 2
+    repro study run examples/specs/fig4_smoke.json --executor subprocess-pool
+    repro study run examples/specs/fig4_smoke.json --max-cells 8
+    repro study run examples/specs/fig4_smoke.json --resume
+    repro study status examples/specs/fig4_smoke.json
     repro bench --quick --jobs 4
     repro bench --perf --check
     repro list
@@ -37,9 +41,13 @@ under ``examples/specs/``), ``repro bench`` regenerates the whole
 figure suite with machine-readable timings, and ``repro bench
 --perf`` runs the engine-throughput microbench (``--check`` gates on
 the committed cycle-count goldens).  Experiment subcommands accept
-``--jobs`` (process-pool width, default ``REPRO_JOBS`` or the CPU
-count), ``--no-cache``, and ``--cache-dir`` (default
-``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+``--jobs`` (worker count, default ``REPRO_JOBS`` or the CPU count),
+``--executor`` (execution backend, default ``REPRO_EXECUTOR`` or
+``local``), ``--no-cache``, and ``--cache-dir`` (default
+``REPRO_CACHE_DIR`` or ``~/.cache/repro``).  ``repro study run``
+additionally takes ``--resume`` / ``--max-cells`` for resumable and
+chunked grids, with ``repro study status`` reporting recorded
+progress — docs/EXECUTION.md is the operations guide.
 """
 
 from __future__ import annotations
@@ -60,7 +68,8 @@ from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
                                encoding_sweep, scalability_sweep,
                                scenario_matrix)
-from repro.exec import (NO_CACHE_ENV, ParallelRunner, ResultCache,
+from repro.exec import (NO_CACHE_ENV, CellExecutionError, ParallelRunner,
+                        ResultCache, code_version, executor_names,
                         set_default_runner)
 from repro.interconnect.topology import TOPOLOGIES, topology_names
 from repro.workloads.patterns import PATTERN_NAMES
@@ -132,6 +141,10 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="worker processes for independent simulations "
                              "(default: $REPRO_JOBS or the CPU count)")
+    parser.add_argument("--executor", default=None,
+                        choices=executor_names(),
+                        help="execution backend (default: $REPRO_EXECUTOR "
+                             "or 'local'; see docs/EXECUTION.md)")
     parser.add_argument("--no-cache", action="store_true",
                         help="do not read or write the on-disk result cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -148,7 +161,8 @@ def _runner_from_args(args) -> Optional[ParallelRunner]:
     no_cache = args.no_cache or (args.cache_dir is None
                                  and bool(os.environ.get(NO_CACHE_ENV)))
     cache = None if no_cache else ResultCache(args.cache_dir)
-    return ParallelRunner(jobs=args.jobs, cache=cache)
+    return ParallelRunner(jobs=args.jobs, cache=cache,
+                          executor=args.executor)
 
 
 def package_version() -> str:
@@ -343,6 +357,21 @@ def build_parser() -> argparse.ArgumentParser:
                     "aggregates (deterministic grid order)")
     srun.add_argument("spec", metavar="SPEC.json")
     _add_exec_options(srun)
+    srun.add_argument("--resume", action="store_true",
+                      help="continue the study's recorded manifest: cells "
+                           "already done load from the cache, only the "
+                           "missing ones execute")
+    srun.add_argument("--max-cells", type=_positive_int, default=None,
+                      metavar="N",
+                      help="execute at most N missing cells, record "
+                           "progress, and stop (finish later with "
+                           "--resume or more --max-cells chunks)")
+
+    sstatus = stsub.add_parser(
+        "status", help="report a study's recorded progress (done/pending/"
+                       "failed cells) without running anything")
+    sstatus.add_argument("spec", metavar="SPEC.json")
+    _add_exec_options(sstatus)
 
     sub.add_parser("list", help="list workloads and configurations")
     list_scenarios = sub.add_parser(
@@ -568,7 +597,27 @@ def _cmd_study_show(args) -> int:
 
 def _cmd_study_run(args) -> int:
     spec = StudySpec.load(args.spec)
-    result = Session().run(spec, validate=False)  # load() validated
+    session = Session()
+    if (args.resume or args.max_cells is not None) \
+            and session.cache is None:
+        print("error: --resume/--max-cells record progress beside the "
+              "result cache; drop --no-cache / REPRO_NO_CACHE",
+              file=sys.stderr)
+        return 2
+    if args.max_cells is not None:
+        # Chunked execution: run a slice of the grid, report progress,
+        # stop.  The table only renders once the study completes.
+        manifest = session.advance(spec, limit=args.max_cells,
+                                   validate=False)
+        print(f"[exec] executor={session.executor_name(spec)} "
+              f"workers={session.jobs}")
+        print(f"study {spec.name}: {manifest.summary()}")
+        if not manifest.complete:
+            print(f"(continue with: repro study run {args.spec} "
+                  f"--resume or more --max-cells chunks)")
+        return 0
+    result = session.run(spec, validate=False,  # load() validated
+                         resume=args.resume)
     axis_names = list(result.axis_names) or ["study"]
     rows = []
     for key in result.keys:
@@ -580,6 +629,7 @@ def _cmd_study_run(args) -> int:
     print(format_table(f"Study {spec.name}: {_study_shape(spec)}",
                        axis_names + ["runtime", "+-95%", "bytes/miss"],
                        rows))
+    print(f"[exec] executor={result.executor} workers={result.jobs}")
     delta = result.cache_delta
     if delta is not None:
         print(f"[cache] {delta['hits']} hits, {delta['misses']} misses, "
@@ -587,10 +637,34 @@ def _cmd_study_run(args) -> int:
     return 0
 
 
+def _cmd_study_status(args) -> int:
+    spec = StudySpec.load(args.spec)
+    session = Session()
+    if session.cache is None:
+        print("error: study progress is recorded beside the result "
+              "cache; drop --no-cache / REPRO_NO_CACHE",
+              file=sys.stderr)
+        return 2
+    manifest = session.status(spec)
+    if manifest is None:
+        print(f"study {spec.name}: no recorded progress "
+              f"(run it with: repro study run {args.spec})")
+        return 0
+    print(f"study {spec.name}: {manifest.summary()}")
+    for cell in manifest.failed_cells():
+        where = "/".join(cell.key) if cell.key else spec.name
+        print(f"  failed: {where} seed={cell.seed}: {cell.error}")
+    if manifest.code_version != code_version():
+        print("note: progress was recorded under a different code "
+              "version; its done cells will miss the cache and re-run")
+    return 0
+
+
 _STUDY_COMMANDS = {
     "validate": _cmd_study_validate,
     "show": _cmd_study_show,
     "run": _cmd_study_run,
+    "status": _cmd_study_status,
 }
 
 
@@ -602,6 +676,14 @@ def cmd_study(args) -> int:
         # errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except CellExecutionError as exc:
+        # A failed cell is recorded in the study's manifest; point the
+        # user at the status/resume workflow instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"(progress so far is recorded; inspect it with "
+              f"`repro study status {args.spec}` and retry with "
+              f"`repro study run {args.spec} --resume`)", file=sys.stderr)
+        return 1
 
 
 # ---------------------------------------------------------------------------

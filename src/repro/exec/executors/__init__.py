@@ -1,0 +1,106 @@
+"""Name-based registry of execution backends (see docs/EXECUTION.md).
+
+Every way the repo can run a batch of experiment cells registers here —
+mirroring the workload and topology registries — so the CLI
+(``--executor``), the environment (``REPRO_EXECUTOR``), and study specs
+(the ``executor`` field) all select backends by name:
+
+* ``serial`` — in-process, one cell at a time: debugging, profiling,
+  and CI determinism checks;
+* ``local`` — the default ``ProcessPoolExecutor`` fan-out on this host;
+* ``subprocess-pool`` — N long-lived ``repro.exec.worker`` processes
+  fed cells over stdin/stdout JSON, the stepping stone to SSH and
+  job-queue backends.
+
+All backends produce bit-identical results (the golden-parity suite
+runs one scenario grid under each), so the choice is purely
+operational: how many processes, spawned how, talking over what.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, NamedTuple, Tuple
+
+from repro.exec.executors.base import (CellExecutionError, Executor,
+                                       execute_cell_payload)
+from repro.exec.executors.local import LocalPoolExecutor
+from repro.exec.executors.serial import SerialExecutor
+from repro.exec.executors.subproc import (SubprocessPoolExecutor,
+                                          WorkerCellError, WorkerCrashError)
+
+__all__ = [
+    "CellExecutionError", "EXECUTOR_ENV", "Executor", "ExecutorSpec",
+    "LocalPoolExecutor", "SerialExecutor", "SubprocessPoolExecutor",
+    "WorkerCellError", "WorkerCrashError", "default_executor_name",
+    "execute_cell_payload", "executor_names", "executor_specs",
+    "get_executor", "register_executor",
+]
+
+#: Environment override for the backend (CLI: ``--executor``).
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: The backend used when nothing selects one explicitly.
+DEFAULT_EXECUTOR = "local"
+
+
+class ExecutorSpec(NamedTuple):
+    """One registered backend: its factory and what it is for."""
+
+    name: str
+    factory: Callable[[], Executor]
+    description: str
+
+
+_REGISTRY: Dict[str, ExecutorSpec] = {}
+
+
+def register_executor(name: str, factory: Callable[[], Executor],
+                      description: str) -> None:
+    """Register ``factory()`` as the backend named ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"executor {name!r} already registered")
+    _REGISTRY[name] = ExecutorSpec(name, factory, description)
+
+
+def executor_names() -> Tuple[str, ...]:
+    """All registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def executor_specs() -> Tuple[ExecutorSpec, ...]:
+    """Every registered backend's spec, sorted by name."""
+    return tuple(_REGISTRY[name] for name in executor_names())
+
+
+def get_executor(name: str) -> Executor:
+    """Instantiate the backend named ``name`` (pointed error otherwise)."""
+    try:
+        spec = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {name!r}; registered executors: "
+            f"{', '.join(executor_names())}") from None
+    return spec.factory()
+
+
+def default_executor_name() -> str:
+    """``REPRO_EXECUTOR`` if set (validated), else ``"local"``."""
+    name = os.environ.get(EXECUTOR_ENV)
+    if name:
+        if name not in _REGISTRY:
+            raise ValueError(
+                f"{EXECUTOR_ENV} names an unknown executor {name!r}; "
+                f"registered executors: {', '.join(executor_names())}")
+        return name
+    return DEFAULT_EXECUTOR
+
+
+register_executor("serial", SerialExecutor,
+                  "in-process, one cell at a time (debugging, profiling, "
+                  "determinism checks)")
+register_executor("local", LocalPoolExecutor,
+                  "process pool on this host (the default)")
+register_executor("subprocess-pool", SubprocessPoolExecutor,
+                  "N long-lived worker subprocesses fed cells over "
+                  "stdin/stdout JSON")

@@ -1,0 +1,74 @@
+"""The Executor interface: how a batch of cells actually gets run.
+
+An executor is the *mechanism* half of the execution layer: given the
+cells a :class:`~repro.exec.parallel.ParallelRunner` could not serve
+from the result cache, it produces each cell's serialized
+:class:`~repro.core.results.RunResult` payload, in whatever order the
+backend completes them.  The runner keeps the *policy* half — cache
+probing, per-completion persistence, result ordering — so every backend
+inherits it for free.
+
+Backends register by name in :mod:`repro.exec.executors` (mirroring the
+workload and topology registries); ``serial``, ``local``, and
+``subprocess-pool`` ship in this package.  All of them funnel every
+cell through :func:`execute_cell_payload` and hand back the same JSON
+payload the cache stores, which is what keeps results bit-identical
+across backends — the golden-parity suite pins that contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterator, Sequence, Tuple
+
+from repro.exec.cells import Cell, execute_cell
+from repro.exec.serialization import run_result_to_dict
+
+#: One unit of executor work: the cell plus its index in the batch.
+IndexedCell = Tuple[int, Cell]
+#: One unit of executor output: the index plus the serialized result.
+IndexedPayload = Tuple[int, Dict[str, Any]]
+
+
+class CellExecutionError(RuntimeError):
+    """One cell of an experiment batch failed (worker raise or crash)."""
+
+    def __init__(self, cell: Cell, cause: BaseException) -> None:
+        super().__init__(
+            f"experiment cell failed: {cell.config.describe()} "
+            f"workload={cell.workload!r} seed={cell.seed}: "
+            f"{type(cause).__name__}: {cause}")
+        self.cell = cell
+        self.cause = cause
+
+
+def execute_cell_payload(cell: Cell) -> Dict[str, Any]:
+    """Run a cell in this process, returning its serialized result.
+
+    The single entry point every backend's workers call — in-process
+    for ``serial``, in a pool worker for ``local``, inside
+    ``python -m repro.exec.worker`` for ``subprocess-pool``.
+    """
+    return run_result_to_dict(execute_cell(cell))
+
+
+class Executor(ABC):
+    """A pluggable execution backend for batches of experiment cells.
+
+    Implementations yield ``(index, payload)`` as cells complete — the
+    order is theirs to choose — and raise :class:`CellExecutionError`
+    naming the first failing cell.  Results yielded before the failure
+    must be real completions: the runner persists them to the cache as
+    they arrive, so a crashed batch never discards finished work.
+    """
+
+    #: Registry name (``repro study run --executor NAME``).
+    name: str = ""
+
+    @abstractmethod
+    def execute(self, items: Sequence[IndexedCell],
+                jobs: int) -> Iterator[IndexedPayload]:
+        """Execute every cell of ``items`` using up to ``jobs`` workers."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,65 @@
+"""The process-pool backend: today's default, behind the interface.
+
+``local`` fans cells across a ``ProcessPoolExecutor`` in the current
+host, exactly as :class:`~repro.exec.parallel.ParallelRunner` always
+did before the executor layer existed.  A cell that raises in a worker
+— or a worker process that dies outright — fails the batch promptly
+with a :class:`~repro.exec.executors.base.CellExecutionError` naming
+the offending cell; nothing hangs waiting on a dead worker.  Every
+successful future in the failing wave is still yielded first, so the
+runner caches completed simulations before the batch aborts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Iterator, Sequence
+
+from repro.exec.executors.base import (CellExecutionError, Executor,
+                                       IndexedCell, IndexedPayload,
+                                       execute_cell_payload)
+from repro.exec.executors.serial import SerialExecutor
+
+
+class LocalPoolExecutor(Executor):
+    """Runs cells across a process pool on the local host."""
+
+    name = "local"
+
+    def execute(self, items: Sequence[IndexedCell],
+                jobs: int) -> Iterator[IndexedPayload]:
+        items = list(items)
+        if jobs <= 1 or len(items) <= 1:
+            # Spinning up a pool for one worker only adds fork/import
+            # latency; the serial backend is bit-identical by
+            # construction.
+            yield from SerialExecutor().execute(items, jobs)
+            return
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        try:
+            futures = {pool.submit(execute_cell_payload, cell): (index, cell)
+                       for index, cell in items}
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_EXCEPTION)
+                # Harvest every successful future in this wave before
+                # raising, so a failure cannot discard completed (and
+                # cacheable) results that happen to share its wave.
+                first_failure = None
+                for future in done:
+                    index, cell = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:
+                        if first_failure is None:
+                            first_failure = (cell, exc)
+                        continue
+                    yield index, payload
+                if first_failure is not None:
+                    cell, exc = first_failure
+                    raise CellExecutionError(cell, exc) from exc
+        except BaseException:
+            # Fail fast: drop queued work and don't wait for stragglers.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)

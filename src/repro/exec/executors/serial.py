@@ -1,0 +1,31 @@
+"""The in-process serial backend: no pools, no subprocesses.
+
+``serial`` runs every cell in the calling process, one after another.
+It is the reference implementation the other backends must match
+bit-for-bit, the debugging backend (breakpoints and profilers see the
+simulation directly), and the right choice for CI determinism checks
+where worker startup would dominate the work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.exec.executors.base import (CellExecutionError, Executor,
+                                       IndexedCell, IndexedPayload,
+                                       execute_cell_payload)
+
+
+class SerialExecutor(Executor):
+    """Runs cells one at a time in the calling process."""
+
+    name = "serial"
+
+    def execute(self, items: Sequence[IndexedCell],
+                jobs: int) -> Iterator[IndexedPayload]:
+        for index, cell in items:
+            try:
+                payload = execute_cell_payload(cell)
+            except Exception as exc:
+                raise CellExecutionError(cell, exc) from exc
+            yield index, payload

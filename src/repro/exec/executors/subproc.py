@@ -1,0 +1,165 @@
+"""The subprocess-pool backend: long-lived worker processes over pipes.
+
+``subprocess-pool`` starts N ``python -m repro.exec.worker`` processes
+and feeds each one cells over stdin/stdout JSON (see
+:mod:`repro.exec.worker` for the protocol).  Compared to ``local``'s
+``ProcessPoolExecutor`` it trades a little startup latency for a fully
+explicit transport: the parent holds nothing but pipes and JSON lines,
+which is exactly the shape an SSH or job-queue backend needs — swap the
+pipe for a socket and the protocol carries over unchanged.
+
+Scheduling is pull-based: one feeder thread per worker pops cells off a
+shared queue, writes a request, and blocks on the response, so fast
+workers naturally take more cells.  A worker that dies mid-cell (EOF on
+its stdout) fails that cell with :class:`WorkerCrashError`; a cell that
+raises *inside* a worker comes back as a :class:`WorkerCellError` and
+leaves the worker alive.  Either way the batch aborts promptly via
+:class:`~repro.exec.executors.base.CellExecutionError`, after yielding
+every already-completed result so the runner can cache it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import threading
+from typing import Iterator, List, Sequence
+
+from repro.exec.cells import cell_to_dict
+from repro.exec.executors.base import (CellExecutionError, Executor,
+                                       IndexedCell, IndexedPayload)
+
+
+class WorkerCellError(RuntimeError):
+    """A cell raised inside a worker; the original error is quoted."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died before answering (crash, kill, OOM)."""
+
+
+def worker_command() -> List[str]:
+    """The argv that starts one worker with this interpreter."""
+    return [sys.executable, "-m", "repro.exec.worker"]
+
+
+def worker_environment() -> dict:
+    """The parent environment plus a PYTHONPATH that resolves ``repro``.
+
+    Workers must import the same source tree the parent runs (cache
+    keys hash it), even when the parent was started via
+    ``PYTHONPATH=src`` rather than an installed distribution.
+    """
+    import repro
+
+    package_parent = os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    if package_parent not in (existing or "").split(os.pathsep):
+        env["PYTHONPATH"] = (package_parent if not existing
+                             else package_parent + os.pathsep + existing)
+    return env
+
+
+def _feed_worker(proc: subprocess.Popen, tasks: "queue.Queue",
+                 results: "queue.Queue") -> None:
+    """One worker's feeder loop: pop a cell, send it, await the reply."""
+    while True:
+        try:
+            index, cell = tasks.get_nowait()
+        except queue.Empty:
+            return
+        try:
+            request = {"id": index, "cell": cell_to_dict(cell)}
+            proc.stdin.write(json.dumps(request, sort_keys=True) + "\n")
+            proc.stdin.flush()
+            line = proc.stdout.readline()
+        except (OSError, ValueError) as exc:
+            results.put((index, cell,
+                         WorkerCrashError(f"worker pipe failed: {exc}")))
+            return
+        if not line:
+            results.put((index, cell, WorkerCrashError(
+                "worker process exited before returning a result "
+                "(crash or kill; its stderr has the traceback)")))
+            return
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            results.put((index, cell, WorkerCrashError(
+                f"unparseable worker reply: {exc}")))
+            return
+        error = response.get("error")
+        if error is not None:
+            # The worker survives a raising cell; keep feeding it.
+            results.put((index, cell, WorkerCellError(
+                f"{error['type']}: {error['message']}")))
+        else:
+            results.put((index, cell, response["result"]))
+
+
+class SubprocessPoolExecutor(Executor):
+    """Runs cells on N long-lived ``repro.exec.worker`` subprocesses."""
+
+    name = "subprocess-pool"
+
+    def execute(self, items: Sequence[IndexedCell],
+                jobs: int) -> Iterator[IndexedPayload]:
+        items = list(items)
+        if not items:
+            return
+        workers = max(1, min(jobs, len(items)))
+        tasks: "queue.Queue" = queue.Queue()
+        for item in items:
+            tasks.put(item)
+        results: "queue.Queue" = queue.Queue()
+        procs: List[subprocess.Popen] = []
+        try:
+            command, env = worker_command(), worker_environment()
+            for _ in range(workers):
+                proc = subprocess.Popen(command, stdin=subprocess.PIPE,
+                                        stdout=subprocess.PIPE, text=True,
+                                        bufsize=1, env=env)
+                procs.append(proc)
+                threading.Thread(target=_feed_worker,
+                                 args=(proc, tasks, results),
+                                 daemon=True).start()
+            failure = None
+            for _ in range(len(items)):
+                index, cell, outcome = results.get()
+                if isinstance(outcome, BaseException):
+                    failure = (cell, outcome)
+                    break
+                yield index, outcome
+            if failure is not None:
+                # Harvest results that finished concurrently with the
+                # failure so the runner caches them before the abort.
+                while True:
+                    try:
+                        index, cell, outcome = results.get_nowait()
+                    except queue.Empty:
+                        break
+                    if not isinstance(outcome, BaseException):
+                        yield index, outcome
+                raise CellExecutionError(*failure) from failure[1]
+        finally:
+            self._shutdown(procs)
+
+    @staticmethod
+    def _shutdown(procs: Sequence[subprocess.Popen]) -> None:
+        """Close every worker's stdin (its exit signal), then reap."""
+        for proc in procs:
+            try:
+                proc.stdin.close()
+            except OSError:
+                pass
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety
+                proc.kill()
+                proc.wait()

@@ -1,0 +1,199 @@
+"""Per-study manifests: resumable progress records beside the cache.
+
+A manifest is the durable answer to "how far did this study get?".
+:meth:`~repro.api.session.Session.run` writes one per study into
+``<cache-root>/studies/<digest>.json`` — the study's spec digest, every
+cell's identity (grid-point labels + seed) in deterministic grid order,
+and each cell's completion state — and updates it as cells finish or
+fail.  ``repro study status`` reads it without running anything, and
+``repro study run --resume`` / ``--max-cells`` use it to continue a
+partially-run grid: cells recorded ``done`` load from the shared result
+cache, only the missing ones execute.
+
+Manifests live *inside the cache directory* on purpose: point several
+machines' ``REPRO_CACHE_DIR`` at one shared directory and they share
+both the results and the progress record (writes are atomic, same as
+cache entries).  The digest deliberately excludes the spec's
+``executor`` field — switching backends must never orphan progress —
+and excludes the code version, which is instead recorded in the
+manifest so ``status`` can warn that cached results predate the current
+source tree (stale ``done`` cells simply miss the cache and re-run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the on-disk manifest shape changes; unknown versions are
+#: treated as missing (a manifest is a progress record, never data).
+MANIFEST_SCHEMA = 1
+
+#: The states a cell moves through.  ``pending`` -> ``done`` on
+#: completion; ``failed`` records the error and is retried on resume.
+CELL_STATES = ("pending", "done", "failed")
+
+
+def spec_digest(spec) -> str:
+    """Stable identity of a study's *grid* (not its execution knobs).
+
+    Hashes the spec's canonical JSON with the ``executor`` field
+    removed, so re-running the same grid under a different backend (or
+    schema-compatible re-serialization) resumes the same manifest.
+    """
+    data = dict(spec.to_json_dict())
+    data.pop("executor", None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CellEntry:
+    """One cell's identity and completion state."""
+
+    key: Tuple[str, ...]
+    seed: int
+    state: str = "pending"
+    error: Optional[str] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"key": list(self.key), "seed": self.seed,
+                               "state": self.state}
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "CellEntry":
+        state = data["state"]
+        if state not in CELL_STATES:
+            raise ValueError(f"unknown cell state {state!r}")
+        return cls(key=tuple(data["key"]), seed=int(data["seed"]),
+                   state=state, error=data.get("error"))
+
+
+@dataclass
+class StudyManifest:
+    """A whole study's progress: spec identity plus per-cell states."""
+
+    study: str
+    digest: str
+    code_version: str
+    cells: List[CellEntry] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fresh(cls, spec, code_version: str) -> "StudyManifest":
+        """An all-pending manifest for ``spec``, cells in grid order."""
+        cells = [CellEntry(key=key, seed=seed)
+                 for key in spec.keys() for seed in spec.seeds]
+        return cls(study=spec.name, digest=spec_digest(spec),
+                   code_version=code_version, cells=cells)
+
+    def matches(self, spec) -> bool:
+        """Whether this manifest describes exactly ``spec``'s grid."""
+        expected = [(key, seed) for key in spec.keys()
+                    for seed in spec.seeds]
+        return (self.digest == spec_digest(spec)
+                and [(cell.key, cell.seed) for cell in self.cells]
+                == expected)
+
+    # ------------------------------------------------------------------
+    def mark(self, index: int, state: str,
+             error: Optional[str] = None) -> None:
+        if state not in CELL_STATES:
+            raise ValueError(f"unknown cell state {state!r}")
+        cell = self.cells[index]
+        cell.state = state
+        cell.error = error
+
+    def counts(self) -> Dict[str, int]:
+        """``{"done": ..., "pending": ..., "failed": ...}``."""
+        out = {state: 0 for state in CELL_STATES}
+        for cell in self.cells:
+            out[cell.state] += 1
+        return out
+
+    @property
+    def complete(self) -> bool:
+        return all(cell.state == "done" for cell in self.cells)
+
+    def failed_cells(self) -> List[CellEntry]:
+        return [cell for cell in self.cells if cell.state == "failed"]
+
+    def summary(self) -> str:
+        """One status line: ``N done, M pending, K failed of T cells``."""
+        counts = self.counts()
+        return (f"{counts['done']} done, {counts['pending']} pending, "
+                f"{counts['failed']} failed of {len(self.cells)} cells")
+
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"manifest_schema": MANIFEST_SCHEMA,
+                "study": self.study,
+                "digest": self.digest,
+                "code_version": self.code_version,
+                "cells": [cell.to_json_dict() for cell in self.cells]}
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "StudyManifest":
+        if data.get("manifest_schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported manifest_schema "
+                f"{data.get('manifest_schema')!r}")
+        return cls(study=str(data["study"]), digest=str(data["digest"]),
+                   code_version=str(data["code_version"]),
+                   cells=[CellEntry.from_json_dict(cell)
+                          for cell in data["cells"]])
+
+
+class ManifestStore:
+    """Loads and saves manifests under ``<root>/studies/``.
+
+    Same degradation contract as the result cache: an unreadable or
+    torn manifest is a miss, an unwritable directory never aborts a
+    study whose simulations succeeded (writes are atomic via temp file
+    + ``os.replace``, so concurrent writers on a shared directory can
+    never leave a torn manifest).
+    """
+
+    def __init__(self, cache_root: os.PathLike) -> None:
+        self.root = Path(cache_root) / "studies"
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def load(self, digest: str) -> Optional[StudyManifest]:
+        """The stored manifest for ``digest``, or None."""
+        try:
+            with open(self.path_for(digest), "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return StudyManifest.from_json_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def save(self, manifest: StudyManifest) -> Optional[Path]:
+        """Atomically persist ``manifest``; None if the disk refused."""
+        path = self.path_for(manifest.digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(manifest.to_json_dict(), handle,
+                              sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return None
+        return path

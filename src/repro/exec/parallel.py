@@ -1,80 +1,91 @@
-"""Parallel experiment execution over a process pool.
+"""Cache-aware batch execution over pluggable executor backends.
 
 The evaluation grid is embarrassingly parallel: every (config, workload,
 seed) cell is an independent deterministic simulation.
-:class:`ParallelRunner` fans a batch of cells across a
-``ProcessPoolExecutor``, consults the on-disk :class:`ResultCache`
-first, and returns results in the order the cells were given regardless
-of completion order.
+:class:`ParallelRunner` owns the *policy* of running a batch — probe the
+on-disk :class:`ResultCache` first, persist every fresh result the
+moment it completes, return results in input order — and delegates the
+*mechanism* to an :class:`~repro.exec.executors.base.Executor` backend
+(``serial``, ``local``, ``subprocess-pool``, …; see
+:mod:`repro.exec.executors` and docs/EXECUTION.md).
 
-Bit-identity with serial execution is guaranteed by construction: the
-kernel is deterministic per (seed, config), every execution path runs
-:func:`~repro.exec.cells.execute_cell`, and both the serial and the
-pooled path round-trip the result through the same JSON serialization
-the cache uses.
+Bit-identity across backends is guaranteed by construction: the kernel
+is deterministic per (seed, config), every backend funnels cells
+through :func:`~repro.exec.executors.base.execute_cell_payload`, and
+every result round-trips the same JSON serialization the cache uses.
 
-A cell that raises in a worker — or a worker process that dies outright
-— fails the whole batch promptly with a :class:`CellExecutionError`
-naming the offending cell; nothing hangs waiting on a dead worker.
+A cell that raises in a worker — or a worker that dies outright —
+fails the whole batch promptly with a :class:`CellExecutionError`
+naming the offending cell; results completed before the failure are
+already cached, so a retry resumes where the batch died.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.results import RunResult
 from repro.exec.cache import NO_CACHE_ENV, ResultCache
-from repro.exec.cells import Cell, execute_cell
-from repro.exec.serialization import run_result_from_dict, run_result_to_dict
+from repro.exec.cells import Cell
+from repro.exec.executors import (EXECUTOR_ENV, CellExecutionError, Executor,
+                                  default_executor_name, execute_cell_payload,
+                                  get_executor)
+from repro.exec.serialization import run_result_from_dict
 
 #: Environment override for the worker count (CLI: ``--jobs``).
 JOBS_ENV = "REPRO_JOBS"
 
+#: Re-exported for callers that imported it from here historically.
+_execute_cell_payload = execute_cell_payload
 
-class CellExecutionError(RuntimeError):
-    """One cell of an experiment batch failed (worker raise or crash)."""
-
-    def __init__(self, cell: Cell, cause: BaseException) -> None:
-        super().__init__(
-            f"experiment cell failed: {cell.config.describe()} "
-            f"workload={cell.workload!r} seed={cell.seed}: "
-            f"{type(cause).__name__}: {cause}")
-        self.cell = cell
-        self.cause = cause
+#: Per-completion callback: ``(index, result, fresh)`` where ``fresh``
+#: is False for cache hits and True for newly executed cells.
+ResultCallback = Callable[[int, RunResult, bool], None]
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``.
+
+    ``REPRO_JOBS`` must be a positive integer — a zero, negative, or
+    non-numeric value is a configuration mistake and fails loudly here
+    rather than deep inside a pool constructor.
+    """
     env = os.environ.get(JOBS_ENV)
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
-            raise ValueError(f"{JOBS_ENV} must be an integer, got {env!r}")
+            raise ValueError(
+                f"{JOBS_ENV} must be a positive integer (worker count), "
+                f"got {env!r}") from None
+        if value < 1:
+            raise ValueError(
+                f"{JOBS_ENV} must be >= 1 (worker count), got {value}")
+        return value
     return os.cpu_count() or 1
 
 
-def _execute_cell_payload(cell: Cell) -> Dict[str, Any]:
-    """Worker entry point: run a cell, return its serialized result."""
-    return run_result_to_dict(execute_cell(cell))
-
-
 class ParallelRunner:
-    """Runs batches of experiment cells, in parallel and cache-aware.
+    """Runs batches of experiment cells, executor-pluggable and cache-aware.
 
     ``jobs`` is the maximum worker count (``None`` resolves via
     ``REPRO_JOBS`` / ``os.cpu_count()``); ``cache=None`` disables
-    result caching.
+    result caching.  ``executor`` picks the backend: a registered name,
+    an :class:`Executor` instance, or ``None`` to resolve per batch
+    (``REPRO_EXECUTOR``, else ``local``).
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 executor: Union[None, str, Executor] = None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if isinstance(executor, str):
+            get_executor(executor)  # fail fast on unknown names
         self._jobs = jobs
         self.cache = cache
+        self.executor = executor
 
     @classmethod
     def from_env(cls) -> "ParallelRunner":
@@ -86,9 +97,38 @@ class ParallelRunner:
     def jobs(self) -> int:
         return self._jobs if self._jobs is not None else default_jobs()
 
+    def resolve_executor(self, preferred: Union[None, str, Executor] = None
+                         ) -> Executor:
+        """The backend a batch will use, honoring the precedence order.
+
+        The runner's own ``executor`` (the CLI's ``--executor``) wins;
+        then ``preferred`` (e.g. a study spec's ``executor`` field);
+        then ``REPRO_EXECUTOR``; then ``local``.
+        """
+        for choice in (self.executor, preferred):
+            if isinstance(choice, Executor):
+                return choice
+            if choice is not None:
+                return get_executor(choice)
+        return get_executor(default_executor_name())
+
     # ------------------------------------------------------------------
-    def run_cells(self, cells: Sequence[Cell]) -> List[RunResult]:
-        """Execute every cell, returning results in input order."""
+    def run_cells(self, cells: Sequence[Cell],
+                  executor: Union[None, str, Executor] = None,
+                  limit: Optional[int] = None,
+                  on_result: Optional[ResultCallback] = None
+                  ) -> List[Optional[RunResult]]:
+        """Execute every cell, returning results in input order.
+
+        ``executor`` is a per-batch backend preference (see
+        :meth:`resolve_executor`).  ``on_result`` is invoked once per
+        completed cell — cache hits included — as completions happen.
+        ``limit`` bounds how many *missing* (non-cached) cells execute;
+        the unexecuted remainder come back as ``None`` (this is the
+        chunked-execution primitive behind ``repro study run
+        --max-cells``).  With ``limit=None`` every entry is a
+        :class:`RunResult`.
+        """
         cells = list(cells)
         results: List[Optional[RunResult]] = [None] * len(cells)
         pending: List[int] = []
@@ -96,65 +136,26 @@ class ParallelRunner:
             cached = self.cache.load(cell) if self.cache is not None else None
             if cached is not None:
                 results[index] = cached
+                if on_result is not None:
+                    on_result(index, cached, False)
             else:
                 pending.append(index)
+        if limit is not None:
+            pending = pending[:limit]
+        if not pending:
+            return results
 
-        workers = min(self.jobs, len(pending))
-        if workers <= 1:
-            for index in pending:
-                results[index] = self._finish(cells[index],
-                                              self._run_serial(cells[index]))
-        else:
-            self._run_pool(cells, pending, results, workers)
-        return results  # type: ignore[return-value]
-
-    # ------------------------------------------------------------------
-    def _finish(self, cell: Cell, result: RunResult) -> RunResult:
-        """Persist a freshly computed result immediately.
-
-        Storing per cell (not per batch) means one failing cell late in
-        a batch cannot discard the completed simulations before it.
-        """
-        if self.cache is not None:
-            self.cache.store(cell, result)
-        return result
-
-    def _run_serial(self, cell: Cell) -> RunResult:
-        try:
-            payload = _execute_cell_payload(cell)
-        except Exception as exc:
-            raise CellExecutionError(cell, exc) from exc
-        return run_result_from_dict(payload)
-
-    def _run_pool(self, cells: Sequence[Cell], pending: Sequence[int],
-                  results: List[Optional[RunResult]], workers: int) -> None:
-        executor = ProcessPoolExecutor(max_workers=workers)
-        try:
-            futures = {executor.submit(_execute_cell_payload, cells[i]): i
-                       for i in pending}
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done,
-                                      return_when=FIRST_EXCEPTION)
-                # Harvest every successful future in this wave before
-                # raising, so a failure cannot discard completed (and
-                # cacheable) results that happen to share its wave.
-                first_failure = None
-                for future in done:
-                    index = futures[future]
-                    try:
-                        payload = future.result()
-                    except Exception as exc:
-                        if first_failure is None:
-                            first_failure = (index, exc)
-                        continue
-                    results[index] = self._finish(
-                        cells[index], run_result_from_dict(payload))
-                if first_failure is not None:
-                    index, exc = first_failure
-                    raise CellExecutionError(cells[index], exc) from exc
-        except BaseException:
-            # Fail fast: drop queued work and don't wait for stragglers.
-            executor.shutdown(wait=False, cancel_futures=True)
-            raise
-        executor.shutdown(wait=True)
+        backend = self.resolve_executor(executor)
+        workers = max(1, min(self.jobs, len(pending)))
+        for index, payload in backend.execute(
+                [(index, cells[index]) for index in pending], workers):
+            result = run_result_from_dict(payload)
+            # Persist immediately: storing per cell (not per batch)
+            # means one failing cell late in a batch cannot discard the
+            # completed simulations before it.
+            if self.cache is not None:
+                self.cache.store(cells[index], result)
+            results[index] = result
+            if on_result is not None:
+                on_result(index, result, True)
+        return results

@@ -1,0 +1,57 @@
+"""Long-lived cell-execution worker (``python -m repro.exec.worker``).
+
+The ``subprocess-pool`` backend keeps N of these processes alive for a
+whole batch and feeds them cells over a line-oriented JSON protocol —
+the stepping stone to SSH and job-queue backends, which speak the same
+protocol over a different transport.
+
+Protocol (one JSON object per line, strict request/response):
+
+* request:  ``{"id": <int>, "cell": <cell_to_dict(...)>}``
+* response: ``{"id": <int>, "result": <run_result_to_dict(...)>}`` on
+  success, or ``{"id": <int>, "error": {"type": ..., "message": ...}}``
+  when the cell raised.  A raising cell is *reported*, not fatal: the
+  worker stays alive for the next request.
+* shutdown: closing the worker's stdin ends the loop; the process
+  exits 0.
+
+Responses reuse the exact serialization the result cache stores, so a
+subprocess-run cell is bit-identical to an in-process one.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, Optional
+
+
+def serve(stdin: Optional[IO[str]] = None,
+          stdout: Optional[IO[str]] = None) -> int:
+    """Serve cell-execution requests until stdin closes."""
+    # Imported here so ``--help``-style instant exits stay instant and
+    # the protocol module is importable without the simulator.
+    from repro.exec.cells import cell_from_dict, execute_cell
+    from repro.exec.serialization import run_result_to_dict
+
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        request = json.loads(line)
+        response = {"id": request["id"]}
+        try:
+            cell = cell_from_dict(request["cell"])
+            response["result"] = run_result_to_dict(execute_cell(cell))
+        except Exception as exc:
+            response["error"] = {"type": type(exc).__name__,
+                                 "message": str(exc)}
+        stdout.write(json.dumps(response, sort_keys=True) + "\n")
+        stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(serve())

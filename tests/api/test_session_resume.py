@@ -1,0 +1,196 @@
+"""Resumable studies: manifests, chunked advance, failure retry."""
+
+import pytest
+
+from repro.api import Session, StudySpec
+from repro.exec import (CellExecutionError, Executor, ParallelRunner,
+                        ResultCache, get_executor)
+from repro.exec.manifest import spec_digest
+
+
+def tiny_spec(**extra):
+    data = {
+        "spec_schema": 2, "name": "resume-check",
+        "base_config": {"num_cores": 4},
+        "workload": "microbench", "references_per_core": 8,
+        "seeds": [1, 2],
+        "axes": [{"name": "variant", "points": [
+            {"label": "dir",
+             "config": {"protocol": "directory", "predictor": "none"}},
+            {"label": "patch",
+             "config": {"protocol": "patch", "predictor": "all"}}]}],
+    }
+    data.update(extra)
+    return StudySpec.from_json_dict(data)
+
+
+class CountingExecutor(Executor):
+    """Delegates to the serial backend, recording what actually ran."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.executed = []
+
+    def execute(self, items, jobs):
+        self.executed.extend(index for index, _ in items)
+        return get_executor("serial").execute(items, jobs)
+
+
+def counting_session(tmp_path):
+    backend = CountingExecutor()
+    session = Session(runner=ParallelRunner(
+        jobs=1, cache=ResultCache(tmp_path), executor=backend))
+    return session, backend
+
+
+# ---------------------------------------------------------------------------
+# Resume and chunked advance
+# ---------------------------------------------------------------------------
+
+def test_resume_executes_only_missing_cells(tmp_path):
+    spec = tiny_spec()
+    first, counted = counting_session(tmp_path)
+    manifest = first.advance(spec, limit=2)
+    assert len(counted.executed) == 2
+    assert manifest.counts() == {"done": 2, "pending": 2, "failed": 0}
+
+    second, counted = counting_session(tmp_path)
+    result = second.run(spec, resume=True)
+    # Only the two missing cells simulated; the rest came from cache.
+    assert len(counted.executed) == 2
+    assert set(counted.executed).isdisjoint({0, 1})
+    assert result.cache_delta["hits"] == 2
+    assert result.cache_delta["misses"] == 2
+    assert second.status(spec).complete
+
+
+def test_advance_one_cell_at_a_time_until_complete(tmp_path):
+    spec = tiny_spec()
+    session, counted = counting_session(tmp_path)
+    steps = 0
+    while True:
+        steps += 1
+        manifest = session.advance(spec, limit=1)
+        assert manifest.counts()["done"] == min(steps, spec.num_cells())
+        if manifest.complete:
+            break
+    assert steps == spec.num_cells()
+    assert len(counted.executed) == spec.num_cells()
+    assert sorted(counted.executed) == list(range(spec.num_cells()))
+
+
+def test_plain_run_after_partial_still_reuses_cache(tmp_path):
+    """Without --resume the manifest restarts, but results never re-run:
+    the content-addressed cache, not the manifest, stores the work."""
+    spec = tiny_spec()
+    Session(jobs=1, cache_dir=tmp_path).advance(spec, limit=1)
+    session, counted = counting_session(tmp_path)
+    result = session.run(spec)  # resume=False
+    assert result.cache_delta["hits"] == 1
+    assert len(counted.executed) == spec.num_cells() - 1
+    assert session.status(spec).complete
+
+
+def test_status_reports_progress_without_running(tmp_path):
+    spec = tiny_spec()
+    session = Session(jobs=1, cache_dir=tmp_path)
+    assert session.status(spec) is None  # never recorded
+    session.advance(spec, limit=3)
+    status_session, counted = counting_session(tmp_path)
+    manifest = status_session.status(spec)
+    assert manifest.summary() == "3 done, 1 pending, 0 failed of 4 cells"
+    assert counted.executed == []  # status never executes
+
+
+def test_status_and_advance_require_a_cache():
+    spec = tiny_spec()
+    session = Session(no_cache=True)
+    with pytest.raises(ValueError, match="cache"):
+        session.status(spec)
+    with pytest.raises(ValueError, match="cache"):
+        session.advance(spec, limit=1)
+
+
+def test_uncached_run_still_works_without_manifest():
+    spec = tiny_spec(seeds=[1])
+    result = Session(no_cache=True, jobs=1).run(spec)
+    assert result.cache_delta is None
+    assert len(result.runs) == spec.num_cells()
+
+
+# ---------------------------------------------------------------------------
+# Manifest identity
+# ---------------------------------------------------------------------------
+
+def test_manifest_digest_ignores_executor_field():
+    """Switching backends must resume the same manifest."""
+    assert spec_digest(tiny_spec()) == \
+        spec_digest(tiny_spec(executor="subprocess-pool"))
+    # ...but any grid change moves to a new manifest.
+    assert spec_digest(tiny_spec()) != spec_digest(tiny_spec(seeds=[1]))
+
+
+def test_resume_across_executors_shares_progress(tmp_path):
+    spec = tiny_spec()
+    Session(jobs=1, cache_dir=tmp_path, executor="serial") \
+        .advance(spec, limit=2)
+    session = Session(jobs=2, cache_dir=tmp_path,
+                      executor="subprocess-pool")
+    manifest = session.status(spec)
+    assert manifest.counts()["done"] == 2
+    result = session.run(spec, resume=True)
+    assert result.executor == "subprocess-pool"
+    assert result.cache_delta["hits"] == 2
+
+
+def test_spec_executor_field_selects_backend(tmp_path):
+    spec = tiny_spec(executor="serial")
+    result = Session(jobs=1, cache_dir=tmp_path).run(spec)
+    assert result.executor == "serial"
+    # An explicit session executor (the CLI flag) wins over the spec.
+    result = Session(jobs=1, cache_dir=tmp_path, executor="local") \
+        .run(spec, resume=True)
+    assert result.executor == "local"
+
+
+# ---------------------------------------------------------------------------
+# Failure recording and retry
+# ---------------------------------------------------------------------------
+
+def failing_spec(trace_path):
+    """One good point and one trace point whose file may not exist."""
+    return StudySpec.from_json_dict({
+        "spec_schema": 2, "name": "resume-failure",
+        "base_config": {"num_cores": 4},
+        "workload": "microbench", "references_per_core": 8,
+        "seeds": [1],
+        "axes": [{"name": "variant", "points": [
+            {"label": "good", "config": {"protocol": "directory",
+                                         "predictor": "none"}},
+            {"label": "traced", "config": {"protocol": "patch"},
+             "workload": "trace",
+             "workload_kwargs": {"path": str(trace_path)}}]}],
+    })
+
+
+def test_failed_cell_is_recorded_and_resume_retries_it(tmp_path):
+    trace_path = tmp_path / "missing.rpt"
+    spec = failing_spec(trace_path)
+    session = Session(jobs=1, cache_dir=tmp_path / "cache")
+    with pytest.raises(CellExecutionError):
+        session.run(spec)
+
+    manifest = session.status(spec)
+    assert manifest.summary() == "1 done, 0 pending, 1 failed of 2 cells"
+    (failed,) = manifest.failed_cells()
+    assert failed.key == ("traced",)
+    assert failed.error
+
+    # Supply the missing trace and resume: only the failed cell runs.
+    from repro.traces import record_trace, save_trace
+    save_trace(record_trace("microbench", num_cores=4,
+                            references_per_core=8, seed=1), trace_path)
+    result = session.run(spec, resume=True)
+    assert session.status(spec).complete
+    assert result.cache_delta["hits"] == 1  # the good cell, from cache

@@ -210,6 +210,42 @@ def test_wrong_schema_version_rejected():
         StudySpec.from_json_dict(data)
 
 
+def test_schema_1_specs_still_load():
+    """Files written before the executor field (spec_schema 1) must
+    keep loading and validating unchanged."""
+    data = two_axis_spec().to_json_dict()
+    assert data["spec_schema"] == SPEC_SCHEMA  # writes use the newest
+    data["spec_schema"] = 1
+    spec = StudySpec.from_json_dict(data)
+    spec.validate()
+    assert spec.executor is None
+    # Re-serialization upgrades to the current schema.
+    assert spec.to_json_dict()["spec_schema"] == SPEC_SCHEMA
+
+
+def test_supported_schemas_cover_current():
+    from repro.api import SUPPORTED_SPEC_SCHEMAS
+    assert SPEC_SCHEMA in SUPPORTED_SPEC_SCHEMAS
+    assert 1 in SUPPORTED_SPEC_SCHEMAS
+
+
+def test_executor_field_roundtrips():
+    data = two_axis_spec().to_json_dict()
+    assert "executor" not in data  # None is omitted, old files stay valid
+    data["executor"] = "serial"
+    spec = StudySpec.from_json_dict(data)
+    spec.validate()
+    assert spec.executor == "serial"
+    assert spec.to_json_dict()["executor"] == "serial"
+
+
+def test_unknown_executor_rejected_with_registry_listing():
+    data = two_axis_spec().to_json_dict()
+    data["executor"] = "ssh"
+    with pytest.raises(SpecError, match="serial"):
+        StudySpec.from_json_dict(data).validate()
+
+
 def test_unknown_top_level_key_rejected():
     data = two_axis_spec().to_json_dict()
     data["axess"] = []

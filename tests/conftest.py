@@ -15,3 +15,4 @@ def _hermetic_exec_defaults(monkeypatch):
     monkeypatch.setenv("REPRO_NO_CACHE", "1")
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)

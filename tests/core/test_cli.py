@@ -183,7 +183,8 @@ def _documented_invocations(text):
 
 
 @pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md",
-                                 "docs/PERFORMANCE.md", "docs/API.md"])
+                                 "docs/PERFORMANCE.md", "docs/API.md",
+                                 "docs/EXECUTION.md"])
 def test_documented_cli_recipes_exist(doc):
     """Anti-drift: every `repro` invocation in the docs must parse."""
     subcommands = _subcommands()
@@ -572,6 +573,7 @@ def test_study_run_prints_deterministic_table(tmp_path, capsys):
     first = capsys.readouterr().out
     assert "Study cli-tiny" in first
     assert "Directory" in first and "PATCH-All" in first
+    assert "[exec] executor=local workers=1" in first
     assert "[cache] 0 hits, 2 misses, 2 stores" in first
     # Second run: identical table, all cells served from cache.
     assert main(argv) == 0
@@ -586,7 +588,9 @@ def test_study_run_no_cache_omits_cache_line(tmp_path, capsys):
     path = _tiny_spec_file(tmp_path)
     assert main(["study", "run", path, "--jobs", "1",
                  "--no-cache"]) == 0
-    assert "[cache]" not in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "[cache]" not in out
+    assert "[exec] executor=local workers=1" in out  # still echoed
 
 
 def test_study_run_reports_spec_errors_cleanly(tmp_path, capsys):
@@ -594,6 +598,91 @@ def test_study_run_reports_spec_errors_cleanly(tmp_path, capsys):
     bad.write_text('{"name": "x"}')
     assert main(["study", "run", str(bad), "--no-cache"]) == 2
     assert "spec_schema" in capsys.readouterr().err
+
+
+def test_study_run_executor_flag_is_echoed(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    argv = ["study", "run", path, "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv + ["--executor", "serial"]) == 0
+    serial = capsys.readouterr().out
+    assert "[exec] executor=serial workers=2" in serial
+    # A different backend over a warm cache: identical table.
+    assert main(argv + ["--executor", "subprocess-pool"]) == 0
+    pooled = capsys.readouterr().out
+    assert "[exec] executor=subprocess-pool workers=2" in pooled
+    table = lambda text: [line for line in text.splitlines()  # noqa: E731
+                          if not line.startswith("[")]
+    assert table(serial) == table(pooled)
+
+
+def test_study_run_rejects_unknown_executor():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["study", "run", "x.json",
+                                   "--executor", "ssh"])
+
+
+def test_study_max_cells_then_resume_roundtrip(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path, seeds=(1, 2))
+    cache = ["--cache-dir", str(tmp_path / "cache"), "--jobs", "1"]
+
+    # Before anything runs, status reports no progress.
+    assert main(["study", "status", path] + cache) == 0
+    assert "no recorded progress" in capsys.readouterr().out
+
+    # Chunk 1: one cell executes, three stay pending.
+    assert main(["study", "run", path, "--max-cells", "1"] + cache) == 0
+    out = capsys.readouterr().out
+    assert "1 done, 3 pending, 0 failed of 4 cells" in out
+    assert "--resume" in out  # points at how to continue
+    assert "[exec] executor=local workers=1" in out
+
+    assert main(["study", "status", path] + cache) == 0
+    assert "1 done, 3 pending, 0 failed of 4 cells" \
+        in capsys.readouterr().out
+
+    # Resume: only the three missing cells execute (1 hit, 3 misses).
+    assert main(["study", "run", path, "--resume"] + cache) == 0
+    out = capsys.readouterr().out
+    assert "Study cli-tiny" in out
+    assert "[cache] 1 hits, 3 misses, 3 stores" in out
+
+    assert main(["study", "status", path] + cache) == 0
+    assert "4 done, 0 pending, 0 failed of 4 cells" \
+        in capsys.readouterr().out
+
+
+def test_study_resume_without_cache_is_an_error(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    for extra in (["--resume"], ["--max-cells", "1"]):
+        assert main(["study", "run", path, "--no-cache"] + extra) == 2
+        assert "--no-cache" in capsys.readouterr().err
+    assert main(["study", "status", path, "--no-cache"]) == 2
+    assert "--no-cache" in capsys.readouterr().err
+
+
+def test_study_run_failure_points_at_status_and_resume(tmp_path, capsys):
+    from repro.api import AxisSpec, PointSpec, StudySpec
+    spec = StudySpec(
+        name="cli-fail", base_config={"num_cores": 4},
+        workload="microbench", references_per_core=8, seeds=(1,),
+        axes=(AxisSpec("variant", (
+            PointSpec("good", config={"protocol": "directory"}),
+            PointSpec("bad", workload="trace",
+                      workload_kwargs={"path":
+                                       str(tmp_path / "missing.rpt")}))),))
+    path = tmp_path / "fail.json"
+    spec.save(path)
+    cache = ["--cache-dir", str(tmp_path / "cache"), "--jobs", "1"]
+    assert main(["study", "run", str(path)] + cache) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "study status" in err and "--resume" in err
+    # The failure is recorded for status to report.
+    assert main(["study", "status", str(path)] + cache) == 0
+    out = capsys.readouterr().out
+    assert "1 done, 0 pending, 1 failed of 2 cells" in out
+    assert "failed: bad seed=1" in out
 
 
 def test_run_workload_choices_exclude_trace():

@@ -1,0 +1,199 @@
+"""Executor backends: registry, parity, failure surfacing, protocol."""
+
+import io
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.exec import (CellExecutionError, ParallelRunner, get_executor,
+                        executor_names, executor_specs, make_cell,
+                        register_executor, run_result_to_dict)
+from repro.exec.executors import Executor
+from repro.exec.cells import cell_to_dict
+from repro.exec.worker import serve
+
+BASE = SystemConfig(num_cores=4)
+
+BACKENDS = ("serial", "local", "subprocess-pool")
+
+
+def small_grid(seeds=(1, 2)):
+    variants = ({"protocol": "directory", "predictor": "none"},
+                {"protocol": "patch", "predictor": "all"})
+    return [make_cell(BASE.with_updates(**overrides), "microbench", 12, seed)
+            for overrides in variants for seed in seeds]
+
+
+def serialized(results):
+    return [run_result_to_dict(result) for result in results]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_lists_all_backends():
+    assert executor_names() == ("local", "serial", "subprocess-pool")
+    specs = executor_specs()
+    assert [spec.name for spec in specs] == list(executor_names())
+    assert all(spec.description for spec in specs)
+
+
+def test_get_executor_instantiates_named_backend():
+    for name in BACKENDS:
+        backend = get_executor(name)
+        assert isinstance(backend, Executor)
+        assert backend.name == name
+
+
+def test_unknown_executor_error_lists_registered_names():
+    with pytest.raises(ValueError) as excinfo:
+        get_executor("ssh")
+    message = str(excinfo.value)
+    assert "ssh" in message
+    for name in BACKENDS:
+        assert name in message
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_executor("serial", lambda: None, "dup")
+
+
+def test_runner_rejects_unknown_executor_name_eagerly():
+    with pytest.raises(ValueError, match="unknown executor"):
+        ParallelRunner(executor="no-such-backend")
+
+
+# ---------------------------------------------------------------------------
+# Selection precedence
+# ---------------------------------------------------------------------------
+
+def test_executor_resolution_precedence(monkeypatch):
+    runner = ParallelRunner(jobs=1)
+    # Default: local.
+    assert runner.resolve_executor().name == "local"
+    # Environment overrides the default.
+    monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+    assert runner.resolve_executor().name == "serial"
+    # A per-batch preference (e.g. a spec's executor field) beats env.
+    assert runner.resolve_executor("subprocess-pool").name \
+        == "subprocess-pool"
+    # The runner's own executor (the CLI flag) beats everything.
+    pinned = ParallelRunner(jobs=1, executor="local")
+    assert pinned.resolve_executor("serial").name == "local"
+
+
+def test_bad_executor_env_fails_with_pointed_error(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "cloud")
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+        ParallelRunner(jobs=1).resolve_executor()
+
+
+def test_executor_instance_is_used_verbatim():
+    class Recording(Executor):
+        name = "recording"
+
+        def __init__(self):
+            self.calls = 0
+
+        def execute(self, items, jobs):
+            self.calls += 1
+            return get_executor("serial").execute(items, jobs)
+
+    backend = Recording()
+    runner = ParallelRunner(jobs=1, executor=backend)
+    runner.run_cells(small_grid(seeds=(1,)))
+    assert backend.calls == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity
+# ---------------------------------------------------------------------------
+
+def test_all_backends_bit_identical():
+    cells = small_grid()
+    baseline = None
+    for name in BACKENDS:
+        results = ParallelRunner(jobs=2, executor=name).run_cells(cells)
+        payloads = serialized(results)
+        if baseline is None:
+            baseline = payloads
+        else:
+            assert payloads == baseline, f"{name} diverged from serial"
+
+
+def test_backends_preserve_input_order():
+    cells = small_grid(seeds=(1,))
+    expected = [cell.config.describe() for cell in cells]
+    for name in BACKENDS:
+        results = ParallelRunner(jobs=2, executor=name).run_cells(cells)
+        assert [r.config_summary for r in results] == expected
+
+
+# ---------------------------------------------------------------------------
+# Failure surfacing
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_failing_cell_surfaces_with_cell_identity(name):
+    good = small_grid(seeds=(1,))
+    bad = make_cell(BASE, "no-such-workload", 12, seed=9)
+    with pytest.raises(CellExecutionError) as excinfo:
+        ParallelRunner(jobs=2, executor=name).run_cells(
+            [good[0], bad, good[1]])
+    assert excinfo.value.cell is bad
+    assert "seed=9" in str(excinfo.value)
+
+
+def test_subprocess_worker_survives_a_raising_cell():
+    """One bad cell must not take its worker (or siblings) down."""
+    good = small_grid(seeds=(1,))[0]
+    bad = make_cell(BASE, "no-such-workload", 12, seed=9)
+    runner = ParallelRunner(jobs=1, executor="subprocess-pool")
+    with pytest.raises(CellExecutionError):
+        runner.run_cells([bad, good])
+    # The same backend still executes clean batches afterwards.
+    results = runner.run_cells([good])
+    assert results[0].config_summary == good.config.describe()
+
+
+# ---------------------------------------------------------------------------
+# Worker protocol (in-process, no subprocess)
+# ---------------------------------------------------------------------------
+
+def _serve_lines(requests):
+    stdin = io.StringIO("".join(json.dumps(r) + "\n" for r in requests))
+    stdout = io.StringIO()
+    assert serve(stdin, stdout) == 0
+    return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+
+def test_worker_protocol_roundtrip_matches_inprocess_execution():
+    cell = small_grid(seeds=(1,))[0]
+    from repro.exec.cells import execute_cell
+    expected = run_result_to_dict(execute_cell(cell))
+    replies = _serve_lines([{"id": 7, "cell": cell_to_dict(cell)}])
+    assert replies == [{"id": 7, "result": expected}]
+
+
+def test_worker_protocol_reports_errors_and_keeps_serving():
+    good = small_grid(seeds=(1,))[0]
+    bad = make_cell(BASE, "no-such-workload", 12, seed=1)
+    replies = _serve_lines([{"id": 0, "cell": cell_to_dict(bad)},
+                            {"id": 1, "cell": cell_to_dict(good)}])
+    assert replies[0]["id"] == 0
+    assert "error" in replies[0]
+    assert replies[0]["error"]["type"]
+    assert replies[1]["id"] == 1
+    assert "result" in replies[1]
+
+
+def test_worker_protocol_skips_blank_lines():
+    cell = small_grid(seeds=(1,))[0]
+    stdin = io.StringIO("\n" + json.dumps(
+        {"id": 3, "cell": cell_to_dict(cell)}) + "\n\n")
+    stdout = io.StringIO()
+    assert serve(stdin, stdout) == 0
+    assert len(stdout.getvalue().splitlines()) == 1

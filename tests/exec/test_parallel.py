@@ -62,13 +62,18 @@ def test_cache_serves_second_batch_without_executing(tmp_path, monkeypatch):
                              "stores": len(cells), "store_errors": 0}
 
     # Any attempt to simulate on the second pass is a bug: every cell
-    # must come from the cache.
-    import repro.exec.parallel as parallel_mod
+    # must come from the cache.  Patch the payload executor in every
+    # backend module that bound it at import time (fork-start pools
+    # inherit the patched copy).
+    import repro.exec.executors.base as base_mod
+    import repro.exec.executors.local as local_mod
+    import repro.exec.executors.serial as serial_mod
 
     def boom(cell):
         raise AssertionError("cache miss re-executed a cached cell")
 
-    monkeypatch.setattr(parallel_mod, "_execute_cell_payload", boom)
+    for module in (base_mod, serial_mod, local_mod):
+        monkeypatch.setattr(module, "execute_cell_payload", boom)
     second = runner.run_cells(cells)
     assert serialized(second) == serialized(first)
     assert cache.hits == len(cells)
@@ -120,6 +125,14 @@ def test_default_jobs_env_override(monkeypatch):
     assert ParallelRunner().jobs == 7
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
     with pytest.raises(ValueError):
+        default_jobs()
+
+
+@pytest.mark.parametrize("value", ["0", "-3", "2.5", " "])
+def test_default_jobs_rejects_non_positive_env(monkeypatch, value):
+    """Regression: REPRO_JOBS=0/-3 used to be silently clamped to 1."""
+    monkeypatch.setenv("REPRO_JOBS", value)
+    with pytest.raises(ValueError, match="REPRO_JOBS"):
         default_jobs()
 
 
