@@ -1,0 +1,48 @@
+"""Regenerate the committed workload-profile corpus in this directory.
+
+Each JSON file is the statistical profile of one isolated
+sharing-pattern generator (see docs/SCENARIOS.md), fitted at a fixed
+shape so the fit is deterministic.  The corpus is the starter input for
+``repro synth`` and the ``"synthetic"`` workload, and
+``tests/synth/test_example_profiles.py`` asserts byte-for-byte
+agreement with the fitter — if the patterns or the fitter change,
+rerun::
+
+    PYTHONPATH=src python examples/profiles/regen.py
+
+and commit the rewritten files.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.synth import profile_workload
+from repro.workloads.patterns import PATTERN_NAMES
+
+PROFILE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: The fit shape every corpus profile uses (small enough to fit in
+#: well under a second, large enough for stable statistics).
+FIT_CORES = 8
+FIT_REFS = 300
+FIT_SEED = 1
+
+
+def corpus_files() -> dict:
+    """file name -> the profile committed under it."""
+    return {f"{name}.json": profile_workload(name, num_cores=FIT_CORES,
+                                             references_per_core=FIT_REFS,
+                                             seed=FIT_SEED)
+            for name in PATTERN_NAMES}
+
+
+def main() -> None:
+    for filename, profile in corpus_files().items():
+        path = os.path.join(PROFILE_DIR, filename)
+        profile.save(path)
+        print(f"wrote {path}: {profile.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,12 @@ regenerates the paper's experiments from the shell:
     repro trace transform oltp.rpt --fold-cores 8 --out oltp8.rpt
     repro trace replay oltp8.rpt --protocol directory
     repro run --trace oltp.rpt --refs 100
+    repro trace profile oltp.rpt --out oltp.profile.json
+    repro synth --profile oltp.profile.json --cores 8 --refs 200 --out s.rpt
+    repro synth --profile examples/profiles/migratory.json --run
+    repro verify fuzz --scenarios 10 --schedules 20 --seed 1
+    repro verify fuzz --inject --out-dir benchmarks/repro_cases
+    repro verify fuzz --replay benchmarks/repro_cases/case.json
     repro study validate examples/specs/fig4_paper.json
     repro study show examples/specs/fig4_paper.json
     repro study run examples/specs/fig4_smoke.json --jobs 2
@@ -37,10 +43,16 @@ matrix, ``repro trace`` records/inspects/transforms/replays access
 traces (see :mod:`repro.traces`), ``repro study`` validates/inspects/
 runs declarative study specs (JSON experiment grids — see
 :mod:`repro.api` and docs/API.md; the paper's figures ship as specs
-under ``examples/specs/``), ``repro bench`` regenerates the whole
-figure suite with machine-readable timings, and ``repro bench
---perf`` runs the engine-throughput microbench (``--check`` gates on
-the committed cycle-count goldens).  Experiment subcommands accept
+under ``examples/specs/``), ``repro trace profile`` / ``repro synth``
+fit and sample statistical workload profiles (see :mod:`repro.synth`;
+a starter corpus ships under ``examples/profiles/``), ``repro verify
+fuzz`` runs the property-based protocol verification campaign —
+random and synthesized race scenarios explored under adversarial
+schedules on every protocol, with violations shrunk and saved as
+replayable cases (docs/VERIFICATION.md is the guide), ``repro bench``
+regenerates the whole figure suite with machine-readable timings, and
+``repro bench --perf`` runs the engine-throughput microbench
+(``--check`` gates on the committed cycle-count goldens).  Experiment subcommands accept
 ``--jobs`` (worker count, default ``REPRO_JOBS`` or the CPU count),
 ``--executor`` (execution backend, default ``REPRO_EXECUTOR`` or
 ``local``), ``--no-cache``, and ``--cache-dir`` (default
@@ -77,10 +89,11 @@ from repro.workloads.presets import WORKLOAD_NAMES
 from repro.workloads.registry import WORKLOAD_KINDS, workload_specs
 
 
-#: Workloads runnable by bare name (the "trace" replayer needs a file,
-#: which ``repro run --trace`` / ``repro trace replay`` supply).
+#: Workloads runnable by bare name.  The "trace" replayer needs a file
+#: (``repro run --trace`` / ``repro trace replay`` supply it) and the
+#: "synthetic" sampler needs a profile (``repro synth`` supplies it).
 RUNNABLE_WORKLOADS = sorted(name for name in WORKLOAD_NAMES
-                            if name != "trace")
+                            if name not in ("trace", "synthetic"))
 
 
 def _add_common(parser: argparse.ArgumentParser,
@@ -295,8 +308,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace file to write")
 
     info = tsub.add_parser(
-        "info", help="print a trace file's header, counts, and digest")
+        "info", help="print a trace file's header, per-core counts, "
+                     "read/write mix, and digest")
     info.add_argument("path", metavar="FILE")
+
+    tprofile = tsub.add_parser(
+        "profile", help="fit a statistical workload profile to a trace "
+                        "(sharing degrees, read/write mix, reuse "
+                        "distances, burstiness)")
+    tprofile.add_argument("path", metavar="FILE")
+    tprofile.add_argument("--out", default=None, metavar="PROFILE.json",
+                          help="write the fitted profile as JSON (the "
+                               "input to `repro synth` and the "
+                               "'synthetic' workload)")
 
     replay = tsub.add_parser(
         "replay", help="run one simulation driven by a recorded trace")
@@ -337,6 +361,88 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--jitter", type=_nonneg_int, default=None,
                            help="max think-time jitter in cycles "
                                 "(requires --perturb-seed; default 4)")
+
+    synth = sub.add_parser(
+        "synth", help="synthesize an access stream matching a fitted "
+                      "profile, echo its fidelity, and optionally "
+                      "record or run it (see docs/VERIFICATION.md)")
+    synth.add_argument("--profile", required=True, metavar="PROFILE.json",
+                       help="profile JSON from `repro trace profile "
+                            "--out` (a starter corpus ships under "
+                            "examples/profiles/)")
+    synth.add_argument("--cores", type=_positive_int, default=None,
+                       help="number of cores (default: the profile's)")
+    synth.add_argument("--refs", type=_positive_int, default=None,
+                       help="references per core (default: the "
+                            "profile's fitted length)")
+    synth.add_argument("--seed", type=_seed_value, default=1)
+    synth.add_argument("--out", default=None, metavar="FILE",
+                       help="record the synthesized stream as a trace "
+                            "file")
+    synth.add_argument("--run", action="store_true",
+                       help="also run one simulation driven by the "
+                            "synthesized workload")
+    synth.add_argument("--protocol", default="patch", choices=PROTOCOLS,
+                       help="protocol for --run (default patch)")
+    _add_exec_options(synth)
+    synth.add_argument("--write-fraction", type=float, default=None,
+                       metavar="F",
+                       help="dial: rescale the read/write mix to F")
+    synth.add_argument("--sharing-boost", type=float, default=None,
+                       metavar="B",
+                       help="dial: multiply access weight by "
+                            "B**(degree-1), shifting traffic toward "
+                            "(B>1) or away from (B<1) shared blocks")
+    synth.add_argument("--blocks", type=_positive_int, default=None,
+                       help="dial: resize the block population")
+    synth.add_argument("--repeat-fraction", type=float, default=None,
+                       metavar="F",
+                       help="dial: override per-core burstiness "
+                            "(P(next access repeats the previous "
+                            "block))")
+
+    verify = sub.add_parser(
+        "verify", help="property-based protocol verification "
+                       "(docs/VERIFICATION.md catalogs the invariants)")
+    vsub = verify.add_subparsers(dest="verify_command", required=True)
+    fuzz = vsub.add_parser(
+        "fuzz", help="fuzz random and synthesized race scenarios "
+                     "through the schedule explorer on every protocol; "
+                     "violations are shrunk and saved as replayable "
+                     "cases")
+    fuzz.add_argument("--scenarios", type=_positive_int, default=10,
+                      help="scenarios to generate (default 10)")
+    fuzz.add_argument("--schedules", type=_positive_int, default=10,
+                      help="network schedules per scenario x protocol "
+                           "(default 10)")
+    fuzz.add_argument("--seed", type=_seed_value, default=1,
+                      help="campaign seed (the whole campaign is a "
+                           "deterministic function of it)")
+    fuzz.add_argument("--protocols", nargs="+", default=list(PROTOCOLS),
+                      choices=PROTOCOLS,
+                      help="protocols to hammer (default: all three)")
+    fuzz.add_argument("--max-cores", type=_positive_int, default=4,
+                      help="largest scenario core count (default 4)")
+    fuzz.add_argument("--inject", action="store_true",
+                      help="plant the deterministic canary violation to "
+                           "prove the campaign catches, shrinks, and "
+                           "persists failures (CI runs this)")
+    fuzz.add_argument("--out-dir", metavar="DIR",
+                      default=os.path.join("benchmarks", "repro_cases"),
+                      help="where violating cases are saved as "
+                           "replayable JSON + trace artifacts "
+                           "(default benchmarks/repro_cases)")
+    fuzz.add_argument("--report", default=None, metavar="FILE",
+                      help="write the machine-readable campaign report "
+                           "as JSON")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop starting new scenarios after this many "
+                           "seconds (the report records truncation; "
+                           "omit for a fully deterministic campaign)")
+    fuzz.add_argument("--replay", default=None, metavar="CASE.json",
+                      help="re-run one saved case instead of fuzzing; "
+                           "exit 0 iff the violation reproduces")
 
     study = sub.add_parser(
         "study", help="validate, inspect, and run declarative study "
@@ -758,9 +864,21 @@ def _cmd_trace_transform(args) -> int:
     return 0
 
 
+def _cmd_trace_profile(args) -> int:
+    from repro.synth import profile_trace
+    from repro.traces import load_trace
+    profile = profile_trace(load_trace(args.path))
+    print(profile.summary())
+    if args.out is not None:
+        profile.save(args.out)
+        print(f"profile -> {args.out}")
+    return 0
+
+
 _TRACE_COMMANDS = {
     "record": _cmd_trace_record,
     "info": _cmd_trace_info,
+    "profile": _cmd_trace_profile,
     "replay": _cmd_trace_replay,
     "transform": _cmd_trace_transform,
 }
@@ -777,6 +895,118 @@ def cmd_trace(args) -> int:
         return 2
 
 
+# ---------------------------------------------------------------------------
+# `repro synth` and `repro verify` subcommands
+# ---------------------------------------------------------------------------
+
+def _synth_knobs(args) -> dict:
+    """The dial knobs actually set on the command line."""
+    knobs = {}
+    for name in ("write_fraction", "sharing_boost", "blocks",
+                 "repeat_fraction"):
+        value = getattr(args, name)
+        if value is not None:
+            knobs[name] = value
+    return knobs
+
+
+def cmd_synth(args) -> int:
+    from repro.synth import WorkloadProfile, profile_trace, tv_distance
+    from repro.traces import record_trace, save_trace
+    try:
+        profile = WorkloadProfile.load(args.profile)
+        cores = args.cores if args.cores is not None else profile.num_cores
+        refs = (args.refs if args.refs is not None
+                else (profile.references_per_core or 100))
+        knobs = _synth_knobs(args)
+        trace = record_trace("synthetic", num_cores=cores,
+                             references_per_core=refs, seed=args.seed,
+                             profile=args.profile, **knobs)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fitted = profile_trace(trace, source=f"synthetic:{profile.source}")
+    print(fitted.summary())
+    target_wf = knobs.get("write_fraction", profile.write_fraction)
+    print(f"fidelity vs {args.profile}: sharing tv-distance "
+          f"{tv_distance(fitted.sharing_accesses, profile.sharing_accesses):.3f}, "
+          f"write-mix delta {abs(fitted.write_fraction - target_wf):.3f}")
+    if args.out is not None:
+        try:
+            save_trace(trace, args.out)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"synthesized trace -> {args.out} "
+              f"({trace.num_records} records)")
+    if args.run:
+        config = SystemConfig(num_cores=cores, protocol=args.protocol,
+                              predictor=("all" if args.protocol == "patch"
+                                         else "none"))
+        result = run_experiment(config, "synthetic",
+                                references_per_core=refs,
+                                seeds=(args.seed,), profile=args.profile,
+                                **knobs).runs[0]
+        _print_run(result)
+    return 0
+
+
+def _cmd_verify_fuzz(args) -> int:
+    import json as _json
+    from repro.synth import FuzzCampaign, load_case, replay_case
+    if args.replay is not None:
+        case = load_case(args.replay)
+        reproduced, error = replay_case(case)
+        scenario = case.scenario
+        print(f"replaying {args.replay}: scenario {scenario.name!r} "
+              f"({scenario.cores} cores) on {case.protocol}, "
+              f"schedule seed {case.schedule_seed}")
+        if reproduced:
+            print(f"reproduced: {error}")
+            return 0
+        print(f"NOT reproduced: {error}")
+        return 1
+    campaign = FuzzCampaign(seed=args.seed, scenarios=args.scenarios,
+                            schedules=args.schedules,
+                            protocols=tuple(args.protocols),
+                            inject=args.inject, max_cores=args.max_cores,
+                            out_dir=args.out_dir,
+                            time_budget=args.time_budget)
+    report = campaign.run()
+    for line in report.lines:
+        print(f"  {line}")
+    for case, path in zip(report.cases,
+                          report.saved_paths or [None] * len(report.cases)):
+        print(f"violation on {case.protocol}: {case.error}")
+        print(f"  shrunk to {case.scenario.cores} core(s) / "
+              f"{sum(len(s) for s in case.scenario.scripts.values())} "
+              f"access(es) in {case.shrink_steps} step(s)"
+              + (f"; saved -> {path} (replay with: repro verify fuzz "
+                 f"--replay {path})" if path else ""))
+    print(report.summary())
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"campaign report -> {args.report}")
+    return 0 if report.ok else 1
+
+
+_VERIFY_COMMANDS = {
+    "fuzz": _cmd_verify_fuzz,
+}
+
+
+def cmd_verify(args) -> int:
+    try:
+        return _VERIFY_COMMANDS[args.verify_command](args)
+    except (OSError, ValueError) as exc:
+        # Missing/corrupt case files and invalid campaign parameters are
+        # user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 COMMANDS = {
     "run": cmd_run,
     "fig4": cmd_fig4,
@@ -785,7 +1015,9 @@ COMMANDS = {
     "fig9": cmd_fig9,
     "scenarios": cmd_scenarios,
     "study": cmd_study,
+    "synth": cmd_synth,
     "trace": cmd_trace,
+    "verify": cmd_verify,
     "bench": cmd_bench,
     "list": cmd_list,
     "list-scenarios": cmd_list_scenarios,

@@ -2,8 +2,9 @@
 
 Every cache entry is one JSON file named by the SHA-256 of a canonical
 description of the run: the full :class:`SystemConfig`, the workload
-name and kwargs (with a trace-backed cell's ``path`` kwarg replaced by
-the trace file's content digest — see :func:`cache_key`), the per-core
+name and kwargs (with a file-backed cell's ``path``/``profile`` kwarg
+replaced by the file's content digest — see :func:`cache_key`), the
+per-core
 reference quota, the seed, and a *code version* fingerprint hashing
 every ``repro`` source file.  Touching any
 source file therefore invalidates the whole cache; changing any config
@@ -85,63 +86,73 @@ _DIGEST_MEMO_LIMIT = 256
 _DIGEST_MEMO_MIN_BYTES = 1 << 20
 
 
-def _trace_content_id(cell: Cell) -> Optional[str]:
-    """The content identity of a trace-backed cell's trace file.
+#: Workload kinds whose cells are backed by a file, and the kwarg that
+#: carries its path.  Those cells are keyed by the file's *content*:
+#: trace replays by the trace file, synthetic samplers by the profile
+#: JSON (a ``profile`` kwarg may also be an in-memory WorkloadProfile,
+#: which is not a path and is keyed literally like any other kwarg).
+_FILE_BACKED_KINDS = {"trace": "path", "synthetic": "profile"}
 
-    For cells whose workload is registered with kind ``"trace"`` and
-    that carry a ``path`` kwarg, returns ``sha256:<digest>`` of the
-    file's bytes; for every other cell returns ``None``.  An unreadable
-    file degrades to a per-path sentinel rather than raising — key
-    computation must never abort a batch whose execution will surface
-    the real error.
+
+def _file_content_id(cell: Cell) -> Optional[tuple]:
+    """``(kwarg name, content id)`` of a file-backed cell's input file.
+
+    For cells whose workload kind appears in :data:`_FILE_BACKED_KINDS`
+    and that carry the corresponding file kwarg, the content id is
+    ``sha256:<digest>`` of the file's bytes; for every other cell the
+    result is ``None``.  An unreadable file degrades to a per-path
+    sentinel rather than raising — key computation must never abort a
+    batch whose execution will surface the real error.
     """
-    path = next((value for key, value in cell.workload_kwargs
-                 if key == "path"), None)
-    if path is None:
-        return None
     try:
         from repro.workloads.registry import get_spec
         spec = get_spec(cell.workload)
     except ValueError:
         return None
-    if spec.kind != "trace":
+    kwarg = _FILE_BACKED_KINDS.get(spec.kind)
+    if kwarg is None:
+        return None
+    path = next((value for key, value in cell.workload_kwargs
+                 if key == kwarg), None)
+    if not isinstance(path, (str, os.PathLike)):
         return None
     from repro.traces.format import trace_digest
     try:
         stat = os.stat(path)
     except OSError:
-        return f"unreadable:{path}"
+        return kwarg, f"unreadable:{path}"
     signature = None
     if stat.st_size >= _DIGEST_MEMO_MIN_BYTES:
         signature = (os.fspath(path), stat.st_mtime_ns, stat.st_size,
                      stat.st_ino)
         memoized = _DIGEST_MEMO.get(signature)
         if memoized is not None:
-            return memoized
+            return kwarg, memoized
     try:
         content_id = f"sha256:{trace_digest(path)}"
     except OSError:
-        return f"unreadable:{path}"
+        return kwarg, f"unreadable:{path}"
     if signature is not None:
         if len(_DIGEST_MEMO) >= _DIGEST_MEMO_LIMIT:
             _DIGEST_MEMO.clear()
         _DIGEST_MEMO[signature] = content_id
-    return content_id
+    return kwarg, content_id
 
 
 def cache_key(cell: Cell, version: Optional[str] = None) -> str:
     """Stable content hash identifying one run.
 
-    Trace-backed cells are keyed by their trace file's *content
-    digest*, substituted for the raw ``path`` kwarg: editing the file
-    moves every dependent cell to a new key, while renaming or copying
-    it leaves the cached results reachable.
+    File-backed cells (trace replays, synthetic samplers) are keyed by
+    their input file's *content digest*, substituted for the raw path
+    kwarg: editing the file moves every dependent cell to a new key,
+    while renaming or copying it leaves the cached results reachable.
     """
     cell_dict = cell_to_dict(cell)
-    trace_id = _trace_content_id(cell)
-    if trace_id is not None:
+    content = _file_content_id(cell)
+    if content is not None:
+        kwarg, content_id = content
         cell_dict["workload_kwargs"] = [
-            ["path", trace_id] if key == "path" else [key, value]
+            [kwarg, content_id] if key == kwarg else [key, value]
             for key, value in cell_dict["workload_kwargs"]]
     payload = {
         "schema": SCHEMA_VERSION,

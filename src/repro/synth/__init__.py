@@ -1,0 +1,61 @@
+"""Workload synthesis and property-based protocol verification.
+
+The flywheel: **record** a trace (:mod:`repro.traces`), **characterize**
+it into a :class:`WorkloadProfile` (:mod:`repro.synth.characterize`),
+**synthesize** a matching stream (:class:`SyntheticProfileWorkload`,
+registered as workload ``"synthetic"``), and **verify** — fuzz random
+and synthesized scenarios through the schedule explorer with every
+invariant armed (:mod:`repro.synth.fuzz`), shrinking and persisting any
+violation as a replayable case.
+"""
+
+from repro.synth.characterize import profile_trace, profile_workload
+from repro.synth.profile import (PROFILE_SCHEMA, ProfileError,
+                                 WorkloadProfile, normalize_counts,
+                                 sample_distribution, tv_distance)
+from repro.synth.workload import (SYNTHETIC_WORKLOAD_NAME,
+                                  SyntheticProfileWorkload)
+
+#: Names served lazily from :mod:`repro.synth.fuzz` (PEP 562).  The
+#: fuzz module pulls in the schedule explorer and thus the whole
+#: simulator, which must not happen while the workload registry is
+#: importing this package's generator module mid-simulator-import.
+_FUZZ_NAMES = ("ALL_PROTOCOLS", "CampaignReport", "FuzzCampaign",
+               "ViolationCase", "injected_check", "load_case",
+               "random_profile", "random_scenario", "replay_case",
+               "save_case", "scenario_from_dict", "scenario_from_profile",
+               "scenario_to_dict", "shrink_scenario")
+
+
+def __getattr__(name):
+    if name in _FUZZ_NAMES:
+        import repro.synth.fuzz as fuzz
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "CampaignReport",
+    "FuzzCampaign",
+    "PROFILE_SCHEMA",
+    "ProfileError",
+    "SYNTHETIC_WORKLOAD_NAME",
+    "SyntheticProfileWorkload",
+    "ViolationCase",
+    "WorkloadProfile",
+    "injected_check",
+    "load_case",
+    "normalize_counts",
+    "profile_trace",
+    "profile_workload",
+    "random_profile",
+    "random_scenario",
+    "replay_case",
+    "sample_distribution",
+    "save_case",
+    "scenario_from_dict",
+    "scenario_from_profile",
+    "scenario_to_dict",
+    "shrink_scenario",
+    "tv_distance",
+]

@@ -1,0 +1,612 @@
+"""Property-based protocol verification campaign.
+
+The fuzzer turns the schedule explorer into a model checker: it
+generates random :class:`~repro.verify.explorer.RaceScenario`\\ s — both
+purely random scripts and scripts sampled from randomly fitted
+:class:`~repro.synth.profile.WorkloadProfile`\\ s — and runs each one
+under many adversarial network schedules on all three protocols with
+the full invariant battery active (``audit_single_writer``,
+``audit_token_conservation``, and the per-run
+:class:`~repro.verify.invariants.IntegrityChecker`, all of which
+:meth:`ScheduleExplorer.run_schedule` and :class:`System` already
+enforce).  A failing (scenario, protocol, schedule) triple is *shrunk*
+— cores, accesses, think times, and write flags are greedily removed
+while the failure reproduces — and persisted as a replayable JSON case
+plus a trace artifact, so a protocol bug found at 3 a.m. by CI is a
+one-command reproduction, not a needle in a seed space.
+
+Everything is deterministic per campaign seed: the same
+``FuzzCampaign(seed=S).run()`` explores the same scenarios in the same
+order and shrinks to the same minimal cases (the optional wall-clock
+budget can only truncate the tail, which the report records).
+
+The ``--inject`` mode plants a deliberate, deterministic canary
+violation (any block written by two distinct cores fails on odd
+schedule seeds) to prove end-to-end that the campaign *catches,
+shrinks, and persists* violations — CI runs it on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.synth.profile import WorkloadProfile, normalize_counts
+from repro.synth.workload import SyntheticProfileWorkload
+from repro.verify.explorer import RaceScenario, ScheduleExplorer
+from repro.workloads.base import Access
+
+#: On-disk schema version of persisted violation cases.
+CASE_SCHEMA = 1
+
+#: Default location persisted violations land in (relative to the repo).
+DEFAULT_CASE_DIR = os.path.join("benchmarks", "repro_cases")
+
+#: The protocols a campaign hammers by default.
+ALL_PROTOCOLS = ("directory", "patch", "tokenb")
+
+#: Think-time menu for random scripts: mostly back-to-back references
+#: with occasional stalls that reorder message arrivals.
+_THINK_CHOICES = (0, 0, 0, 10, 50, 200)
+
+#: Predicate-call ceiling per shrink so a pathological case cannot eat
+#: the whole campaign budget.
+_MAX_SHRINK_CALLS = 400
+
+
+# ---------------------------------------------------------------------------
+# Scenario (de)serialization
+# ---------------------------------------------------------------------------
+
+def scenario_to_dict(scenario: RaceScenario) -> dict:
+    """JSON-safe form of a :class:`RaceScenario` (scripts as triples)."""
+    return {
+        "name": scenario.name,
+        "cores": scenario.cores,
+        "scripts": {
+            str(core): [[access.block, int(access.is_write),
+                         access.think_time] for access in script]
+            for core, script in sorted(scenario.scripts.items())
+        },
+    }
+
+
+def scenario_from_dict(payload: dict) -> RaceScenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    try:
+        scripts = {
+            int(core): [Access(block=int(block), is_write=bool(write),
+                               think_time=int(think))
+                        for block, write, think in script]
+            for core, script in payload["scripts"].items()
+        }
+        return RaceScenario(name=str(payload["name"]),
+                            cores=int(payload["cores"]),
+                            scripts=scripts)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"invalid scenario payload: {exc}") from exc
+
+
+def scenario_trace(scenario: RaceScenario):
+    """The scenario's padded scripts as a saveable trace artifact."""
+    from repro.traces.format import Trace, TraceMeta
+    padded = scenario.padded_scripts()
+    return Trace(
+        meta=TraceMeta(num_cores=scenario.cores,
+                       source=f"fuzz:{scenario.name}"),
+        streams=[padded[core] for core in range(scenario.cores)])
+
+
+# ---------------------------------------------------------------------------
+# Random generation
+# ---------------------------------------------------------------------------
+
+def random_scenario(rng, name: str, max_cores: int = 4,
+                    max_refs: int = 5, hot_blocks: int = 3) -> RaceScenario:
+    """A random contention script over a small hot block pool.
+
+    Small by construction — protocol races live in a handful of
+    conflicting references, and small scenarios explore orders of
+    magnitude more schedule interleavings per second.
+    """
+    cores = rng.randint(1, max_cores)
+    pool = [100 + 16 * i for i in range(rng.randint(1, hot_blocks))]
+    scripts: Dict[int, List[Access]] = {}
+    for core in range(cores):
+        script = []
+        for _ in range(rng.randint(1, max_refs)):
+            if rng.random() < 0.85:
+                block = rng.choice(pool)
+            else:  # occasional private reference (eviction pressure)
+                block = 9_000 + core
+            script.append(Access(block=block,
+                                 is_write=rng.random() < 0.5,
+                                 think_time=rng.choice(_THINK_CHOICES)))
+        scripts[core] = script
+    return RaceScenario(name=name, cores=cores, scripts=scripts)
+
+
+def random_profile(rng, num_cores: int, name: str) -> WorkloadProfile:
+    """A random but plausible workload profile to synthesize from."""
+    degrees = rng.sample(range(1, num_cores + 1),
+                         rng.randint(1, num_cores))
+    block_mass = {degree: rng.uniform(0.1, 1.0) for degree in degrees}
+    access_mass = {degree: rng.uniform(0.1, 1.0) for degree in degrees}
+    write_fractions = tuple((degree, round(rng.uniform(0.1, 0.9), 3))
+                            for degree in sorted(degrees))
+    overall = sum(wf for _, wf in write_fractions) / len(write_fractions)
+    return WorkloadProfile(
+        source=name,
+        num_cores=num_cores,
+        references_per_core=0,
+        blocks=rng.randint(2, 8),
+        write_fraction=round(overall, 3),
+        sharing_blocks=normalize_counts(block_mass),
+        sharing_accesses=normalize_counts(access_mass),
+        degree_write_fraction=write_fractions,
+        reuse_distance=(),
+        cold_fraction=0.0,
+        repeat_fraction=round(rng.uniform(0.0, 0.6), 3),
+        think_time=normalize_counts(
+            {0: 0.6, rng.choice((10, 50, 200)): 0.4}),
+    )
+
+
+def scenario_from_profile(profile: WorkloadProfile, seed: int,
+                          name: str, refs: int = 4) -> RaceScenario:
+    """Freeze a synthesized workload's first accesses into a scenario.
+
+    This is how synthesized profiles double as model-checking inputs:
+    the profile is sampled into concrete per-core scripts, which the
+    explorer can then replay under adversarial schedules.
+    """
+    workload = SyntheticProfileWorkload(num_cores=profile.num_cores,
+                                        seed=seed, profile=profile)
+    scripts = {core: [workload.next_access(core) for _ in range(refs)]
+               for core in range(profile.num_cores)}
+    return RaceScenario(name=name, cores=profile.num_cores,
+                        scripts=scripts)
+
+
+# ---------------------------------------------------------------------------
+# Injection (the CI canary)
+# ---------------------------------------------------------------------------
+
+def injected_check(scenario: RaceScenario,
+                   schedule_seed: int) -> Optional[str]:
+    """The deliberate canary: multi-writer blocks "fail" on odd seeds.
+
+    Deterministic and scenario-structural, so the shrinker can minimize
+    it like a real violation (the fixpoint is two cores, one write
+    each).  Never active unless a campaign opts in with ``inject``.
+    """
+    if schedule_seed % 2 == 0:
+        return None
+    writers: Dict[int, set] = {}
+    for core, script in scenario.scripts.items():
+        for access in script:
+            if access.is_write:
+                writers.setdefault(access.block, set()).add(core)
+    for block, cores in sorted(writers.items()):
+        if len(cores) >= 2:
+            return (f"InjectedViolation: block {block} written by cores "
+                    f"{sorted(cores)} (deliberate canary)")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+def _drop_core(scenario: RaceScenario, core: int) -> Optional[RaceScenario]:
+    if scenario.cores <= 1:
+        return None
+    scripts = {}
+    for old in range(scenario.cores):
+        if old == core:
+            continue
+        script = scenario.scripts.get(old)
+        if script:
+            scripts[old if old < core else old - 1] = list(script)
+    if not scripts:
+        return None
+    return RaceScenario(scenario.name, scenario.cores - 1, scripts)
+
+
+def _drop_access(scenario: RaceScenario, core: int,
+                 index: int) -> Optional[RaceScenario]:
+    script = scenario.scripts.get(core)
+    if not script or index >= len(script):
+        return None
+    scripts = {c: list(s) for c, s in scenario.scripts.items()}
+    del scripts[core][index]
+    if not scripts[core]:
+        del scripts[core]
+    if not scripts or not any(scripts.values()):
+        return None
+    return RaceScenario(scenario.name, scenario.cores, scripts)
+
+
+def _simplify_access(scenario: RaceScenario, core: int, index: int
+                     ) -> List[RaceScenario]:
+    """Candidate one-access simplifications: clear think time, demote a
+    write to a read."""
+    script = scenario.scripts.get(core)
+    if not script or index >= len(script):
+        return []
+    access = script[index]
+    candidates = []
+    for simpler in ((Access(access.block, access.is_write, 0)
+                     if access.think_time else None),
+                    (Access(access.block, False, access.think_time)
+                     if access.is_write else None)):
+        if simpler is not None:
+            scripts = {c: list(s) for c, s in scenario.scripts.items()}
+            scripts[core][index] = simpler
+            candidates.append(RaceScenario(scenario.name, scenario.cores,
+                                           scripts))
+    return candidates
+
+
+def shrink_scenario(scenario: RaceScenario,
+                    failing: Callable[[RaceScenario],
+                                      Optional[Tuple[int, str]]],
+                    ) -> Tuple[RaceScenario, Tuple[int, str], int]:
+    """Greedy delta-debugging: keep any reduction that still fails.
+
+    ``failing(candidate)`` returns ``(schedule_seed, error)`` when the
+    candidate still violates, ``None`` when it passes.  Returns the
+    minimal scenario, its witness, and the number of successful
+    reduction steps.  Deterministic: candidates are tried in a fixed
+    order and the first still-failing one is taken.
+    """
+    witness = failing(scenario)
+    if witness is None:
+        raise ValueError("shrink_scenario needs a failing scenario")
+    steps = 0
+    calls = 0
+    progress = True
+    while progress and calls < _MAX_SHRINK_CALLS:
+        progress = False
+        candidates: List[RaceScenario] = []
+        for core in range(scenario.cores - 1, -1, -1):
+            reduced = _drop_core(scenario, core)
+            if reduced is not None:
+                candidates.append(reduced)
+        for core in sorted(scenario.scripts):
+            for index in range(len(scenario.scripts[core]) - 1, -1, -1):
+                reduced = _drop_access(scenario, core, index)
+                if reduced is not None:
+                    candidates.append(reduced)
+        for core in sorted(scenario.scripts):
+            for index in range(len(scenario.scripts[core])):
+                candidates.extend(_simplify_access(scenario, core, index))
+        for candidate in candidates:
+            calls += 1
+            if calls > _MAX_SHRINK_CALLS:
+                break
+            result = failing(candidate)
+            if result is not None:
+                scenario, witness = candidate, result
+                steps += 1
+                progress = True
+                break
+    return scenario, witness, steps
+
+
+# ---------------------------------------------------------------------------
+# Violation cases (the persisted artifact)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ViolationCase:
+    """One minimized, replayable protocol violation."""
+
+    scenario: RaceScenario
+    protocol: str
+    schedule_seed: int
+    error: str
+    inject: bool = False
+    campaign_seed: int = 0
+    shrink_steps: int = 0
+    explorer: Tuple[Tuple[str, float], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "case_schema": CASE_SCHEMA,
+            "scenario": scenario_to_dict(self.scenario),
+            "protocol": self.protocol,
+            "schedule_seed": self.schedule_seed,
+            "error": self.error,
+            "inject": self.inject,
+            "campaign_seed": self.campaign_seed,
+            "shrink_steps": self.shrink_steps,
+            "explorer": dict(self.explorer),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ViolationCase":
+        schema = payload.get("case_schema")
+        if schema != CASE_SCHEMA:
+            raise ValueError(f"unsupported case_schema {schema!r} "
+                             f"(this build reads {CASE_SCHEMA})")
+        return cls(
+            scenario=scenario_from_dict(payload["scenario"]),
+            protocol=str(payload["protocol"]),
+            schedule_seed=int(payload["schedule_seed"]),
+            error=str(payload["error"]),
+            inject=bool(payload.get("inject", False)),
+            campaign_seed=int(payload.get("campaign_seed", 0)),
+            shrink_steps=int(payload.get("shrink_steps", 0)),
+            explorer=tuple(sorted(payload.get("explorer", {}).items())),
+        )
+
+    def file_stem(self) -> str:
+        return (f"{self.scenario.name}-{self.protocol}"
+                f"-sched{self.schedule_seed}")
+
+
+def save_case(case: ViolationCase, out_dir: os.PathLike) -> str:
+    """Persist a case as ``<stem>.json`` plus a ``<stem>.rpt`` trace.
+
+    The JSON is the replay contract (``repro verify fuzz --replay``);
+    the trace artifact makes the exact per-core streams inspectable and
+    replayable with the ordinary trace tooling (``repro trace info``,
+    ``repro trace replay``).
+    """
+    from repro.traces.format import save_trace
+    os.makedirs(out_dir, exist_ok=True)
+    stem = os.path.join(os.fspath(out_dir), case.file_stem())
+    payload = case.to_dict()
+    payload["trace_artifact"] = os.path.basename(stem) + ".rpt"
+    with open(stem + ".json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    save_trace(scenario_trace(case.scenario), stem + ".rpt")
+    return stem + ".json"
+
+
+def load_case(path: os.PathLike) -> ViolationCase:
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{os.fspath(path)}: not valid JSON: {exc}") from exc
+    return ViolationCase.from_dict(payload)
+
+
+def _make_explorer(scenario: RaceScenario, protocol: str,
+                   params: Dict[str, float]) -> ScheduleExplorer:
+    return ScheduleExplorer(scenario, protocol=protocol,
+                            min_delay=int(params.get("min_delay", 1)),
+                            max_delay=int(params.get("max_delay", 120)),
+                            drop_prob=float(params.get("drop_prob", 0.3)))
+
+
+def replay_case(case: ViolationCase) -> Tuple[bool, str]:
+    """Re-run a persisted case; ``(reproduced, observed error)``.
+
+    Reproduction means the recorded schedule seed still yields a
+    violation on the recorded protocol (any violation counts — the
+    message may drift as diagnostics improve).
+    """
+    explorer = _make_explorer(case.scenario, case.protocol,
+                              dict(case.explorer))
+    ok, error, _ = explorer.run_schedule(case.schedule_seed)
+    if not ok:
+        return True, error
+    if case.inject:
+        injected = injected_check(case.scenario, case.schedule_seed)
+        if injected is not None:
+            return True, injected
+    return False, "run completed cleanly; violation did not reproduce"
+
+
+# ---------------------------------------------------------------------------
+# The campaign
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """Everything one fuzz campaign did, JSON-serializable for CI."""
+
+    seed: int
+    scenarios_requested: int
+    schedules: int
+    protocols: Tuple[str, ...]
+    inject: bool
+    scenarios_run: int = 0
+    runs: int = 0
+    lines: List[str] = field(default_factory=list)
+    cases: List[ViolationCase] = field(default_factory=list)
+    saved_paths: List[str] = field(default_factory=list)
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.cases
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "scenarios_requested": self.scenarios_requested,
+            "scenarios_run": self.scenarios_run,
+            "schedules": self.schedules,
+            "protocols": list(self.protocols),
+            "inject": self.inject,
+            "runs": self.runs,
+            "violations": [case.to_dict() for case in self.cases],
+            "saved_cases": list(self.saved_paths),
+            "truncated": self.truncated,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        status = ("OK" if self.ok
+                  else f"{len(self.cases)} VIOLATIONS")
+        note = " (truncated by time budget)" if self.truncated else ""
+        return (f"[{status}] fuzz campaign seed={self.seed}: "
+                f"{self.scenarios_run}/{self.scenarios_requested} "
+                f"scenarios x {self.schedules} schedules x "
+                f"{len(self.protocols)} protocols = {self.runs} runs"
+                f"{note}")
+
+
+class FuzzCampaign:
+    """Generate scenarios, explore schedules, shrink and persist failures.
+
+    >>> report = FuzzCampaign(seed=3, scenarios=2, schedules=4).run()
+    >>> report.ok
+    True
+    """
+
+    def __init__(self, seed: int = 1, scenarios: int = 10,
+                 schedules: int = 10,
+                 protocols: Sequence[str] = ALL_PROTOCOLS,
+                 inject: bool = False,
+                 max_cores: int = 4, max_refs: int = 5,
+                 min_delay: int = 1, max_delay: int = 120,
+                 drop_prob: float = 0.3,
+                 out_dir: Optional[os.PathLike] = None,
+                 time_budget: Optional[float] = None) -> None:
+        if scenarios < 1:
+            raise ValueError("scenarios must be positive")
+        if schedules < 1:
+            raise ValueError("schedules must be positive")
+        unknown = set(protocols) - set(ALL_PROTOCOLS)
+        if unknown:
+            raise ValueError(f"unknown protocols {sorted(unknown)}; "
+                             f"choose from {ALL_PROTOCOLS}")
+        if time_budget is not None and time_budget < 0:
+            raise ValueError("time_budget must be >= 0 seconds")
+        self.seed = seed
+        self.scenarios = scenarios
+        self.schedules = schedules
+        self.protocols = tuple(protocols)
+        self.inject = inject
+        self.max_cores = max_cores
+        self.max_refs = max_refs
+        self.explorer_params = {"min_delay": min_delay,
+                                "max_delay": max_delay,
+                                "drop_prob": drop_prob}
+        self.out_dir = out_dir
+        self.time_budget = time_budget
+
+    # -- scenario generation -------------------------------------------
+    def _nth_scenario(self, index: int) -> RaceScenario:
+        import random
+        rng = random.Random(f"{self.seed}-fuzz-{index}")
+        # Every third scenario is sampled from a randomly fitted
+        # profile, so synthesized workloads are themselves fuzz inputs.
+        if index % 3 == 2:
+            cores = rng.randint(2, self.max_cores)
+            profile = random_profile(rng, cores, f"fuzz-profile-{index}")
+            return scenario_from_profile(
+                profile, seed=rng.randrange(1 << 30),
+                name=f"synth-{index}", refs=min(self.max_refs, 4))
+        return random_scenario(rng, f"random-{index}",
+                               max_cores=self.max_cores,
+                               max_refs=self.max_refs)
+
+    @staticmethod
+    def _canary_scenario() -> RaceScenario:
+        """A deliberately non-minimal multi-writer scenario.
+
+        Appended to every ``inject`` campaign so the canary fires
+        regardless of what the random scenarios look like (random
+        scripts may happen to contain no multi-writer block), and so
+        the shrinker demonstrably strips the decoy cores, accesses,
+        and think times on the way to the 2-core/2-write fixpoint.
+        """
+        return RaceScenario("inject-canary", 3, {
+            0: [Access(100, True, 10), Access(9_000, False, 0)],
+            1: [Access(9_001, False, 50), Access(100, True, 0)],
+            2: [Access(100, False, 0), Access(9_002, False, 0)],
+        })
+
+    # -- execution ------------------------------------------------------
+    def _check(self, explorer: ScheduleExplorer, scenario: RaceScenario,
+               schedule_seed: int) -> Optional[str]:
+        """Run one schedule; the violation message, or None if clean."""
+        ok, error, _ = explorer.run_schedule(schedule_seed)
+        if not ok:
+            return error
+        if self.inject:
+            return injected_check(scenario, schedule_seed)
+        return None
+
+    def _first_failure(self, scenario: RaceScenario, protocol: str
+                       ) -> Optional[Tuple[int, str]]:
+        explorer = _make_explorer(scenario, protocol, self.explorer_params)
+        for schedule_seed in range(self.schedules):
+            error = self._check(explorer, scenario, schedule_seed)
+            if error is not None:
+                return schedule_seed, error
+        return None
+
+    def run(self) -> CampaignReport:
+        # An inject campaign always ends on the guaranteed canary
+        # scenario, so the catch-shrink-persist pipeline is exercised
+        # no matter what the random scenarios happened to contain.
+        requested = self.scenarios + (1 if self.inject else 0)
+        report = CampaignReport(seed=self.seed,
+                                scenarios_requested=requested,
+                                schedules=self.schedules,
+                                protocols=self.protocols,
+                                inject=self.inject)
+        started = time.monotonic()
+        for index in range(requested):
+            if (self.time_budget is not None
+                    and time.monotonic() - started > self.time_budget):
+                report.truncated = True
+                break
+            if self.inject and index == requested - 1:
+                scenario = self._canary_scenario()
+            else:
+                scenario = self._nth_scenario(index)
+            self._run_scenario(report, scenario)
+            report.scenarios_run += 1
+        report.elapsed_seconds = time.monotonic() - started
+        return report
+
+    def _run_scenario(self, report: CampaignReport,
+                      scenario: RaceScenario) -> None:
+        for protocol in self.protocols:
+            explorer = _make_explorer(scenario, protocol,
+                                      self.explorer_params)
+            failures = 0
+            for schedule_seed in range(self.schedules):
+                report.runs += 1
+                error = self._check(explorer, scenario, schedule_seed)
+                if error is None:
+                    continue
+                failures += 1
+                if failures == 1:  # shrink/persist the first witness
+                    self._handle_failure(report, scenario, protocol)
+            report.lines.append(
+                f"{scenario.name} [{scenario.cores} cores] on "
+                f"{protocol}: {self.schedules} schedules, "
+                + ("ok" if not failures else f"{failures} FAILING"))
+
+    def _handle_failure(self, report: CampaignReport,
+                        scenario: RaceScenario, protocol: str) -> None:
+        def failing(candidate: RaceScenario):
+            return self._first_failure(candidate, protocol)
+
+        shrunk, (schedule_seed, error), steps = shrink_scenario(
+            scenario, failing)
+        case = ViolationCase(
+            scenario=shrunk, protocol=protocol,
+            schedule_seed=schedule_seed, error=error,
+            inject=self.inject, campaign_seed=self.seed,
+            shrink_steps=steps,
+            explorer=tuple(sorted(self.explorer_params.items())))
+        report.cases.append(case)
+        if self.out_dir is not None:
+            report.saved_paths.append(save_case(case, self.out_dir))

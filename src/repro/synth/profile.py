@@ -1,0 +1,242 @@
+"""`WorkloadProfile`: the statistical fingerprint of an access stream.
+
+A profile condenses what the coherence protocols actually react to in a
+workload — how widely blocks are shared, how often they are written, how
+soon a core returns to a block, and how bursty each core's stream is —
+into a small JSON-round-trippable value.  Profiles are produced by
+:mod:`repro.synth.characterize` (from any :class:`~repro.traces.format.Trace`
+or registered workload) and consumed by
+:class:`repro.synth.workload.SyntheticProfileWorkload`, which samples a
+fresh access stream matching the profile.  That closes the data
+flywheel: record -> characterize -> fit -> synthesize -> run.
+
+All distributions are stored as sorted ``(value, fraction)`` pairs with
+fractions summing to ~1, so a profile file is stable, diffable, and
+independent of the trace it was fitted from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+#: On-disk schema version of profile JSON files.
+PROFILE_SCHEMA = 1
+
+#: Distribution type: sorted ((value, fraction), ...) pairs.
+Distribution = Tuple[Tuple[int, float], ...]
+
+
+class ProfileError(ValueError):
+    """A profile file or payload is not a valid WorkloadProfile."""
+
+
+def _normalize(pairs: Iterable[Tuple[int, float]]) -> Distribution:
+    """Sorted, merged, positive-mass pairs rescaled to sum to 1."""
+    merged: Dict[int, float] = {}
+    for value, mass in pairs:
+        if mass < 0:
+            raise ProfileError(f"negative mass {mass} for value {value}")
+        if mass > 0:
+            merged[int(value)] = merged.get(int(value), 0.0) + float(mass)
+    total = sum(merged.values())
+    if not total:
+        return ()
+    return tuple((value, merged[value] / total) for value in sorted(merged))
+
+
+def tv_distance(first: Distribution, second: Distribution) -> float:
+    """Total-variation distance between two ``(value, fraction)`` tables.
+
+    The fidelity metric the synthetic-workload tests assert on: 0 means
+    identical distributions, 1 means disjoint support.
+    """
+    a, b = dict(first), dict(second)
+    return sum(abs(a.get(value, 0.0) - b.get(value, 0.0))
+               for value in set(a) | set(b)) / 2.0
+
+
+def sample_distribution(dist: Distribution, u: float) -> int:
+    """The value a uniform draw ``u`` in [0, 1) selects from ``dist``."""
+    if not dist:
+        return 0
+    acc = 0.0
+    for value, mass in dist:
+        acc += mass
+        if u < acc:
+            return value
+    return dist[-1][0]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical profile of one workload's per-core access streams.
+
+    Fields, in protocol-relevant order:
+
+    * ``sharing_blocks`` — P(a block is touched by exactly *d* cores).
+    * ``sharing_accesses`` — P(an access lands on a degree-*d* block);
+      the access-weighted view, which is what traffic scales with.
+    * ``degree_write_fraction`` — write probability conditioned on the
+      accessed block's sharing degree (producer-consumer writes its
+      shared blocks rarely; false sharing writes them constantly).
+    * ``reuse_distance`` — LRU stack-distance histogram per core,
+      log2-bucketed by the bucket's lower bound; ``cold_fraction`` is
+      the share of first-touch accesses (no reuse distance).
+    * ``repeat_fraction`` — P(a core's next access repeats its previous
+      block): per-core burstiness, the knob behind read-read-write
+      visit patterns.
+    * ``think_time`` — distribution of inter-reference compute cycles
+      (per-core interleaving density).
+    """
+
+    source: str
+    num_cores: int
+    references_per_core: int
+    blocks: int
+    write_fraction: float
+    sharing_blocks: Distribution = ()
+    sharing_accesses: Distribution = ()
+    degree_write_fraction: Distribution = ()
+    reuse_distance: Distribution = ()
+    cold_fraction: float = 0.0
+    repeat_fraction: float = 0.0
+    think_time: Distribution = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ProfileError("num_cores must be positive")
+        if self.blocks < 0:
+            raise ProfileError("blocks must be non-negative")
+        for name in ("write_fraction", "cold_fraction", "repeat_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ProfileError(f"{name} must be in [0, 1], got {value}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        def table(dist: Distribution) -> list:
+            return [[value, round(mass, 6)] for value, mass in dist]
+
+        return {
+            "profile_schema": PROFILE_SCHEMA,
+            "source": self.source,
+            "num_cores": self.num_cores,
+            "references_per_core": self.references_per_core,
+            "blocks": self.blocks,
+            "write_fraction": round(self.write_fraction, 6),
+            "sharing_blocks": table(self.sharing_blocks),
+            "sharing_accesses": table(self.sharing_accesses),
+            "degree_write_fraction": table(self.degree_write_fraction),
+            "reuse_distance": table(self.reuse_distance),
+            "cold_fraction": round(self.cold_fraction, 6),
+            "repeat_fraction": round(self.repeat_fraction, 6),
+            "think_time": table(self.think_time),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "WorkloadProfile":
+        if not isinstance(payload, Mapping):
+            raise ProfileError("profile payload must be a JSON object")
+        schema = payload.get("profile_schema")
+        if schema != PROFILE_SCHEMA:
+            raise ProfileError(
+                f"unsupported profile_schema {schema!r} "
+                f"(this build reads {PROFILE_SCHEMA})")
+
+        def table(name: str, unit_mass: bool = False) -> Distribution:
+            raw = payload.get(name, [])
+            if not isinstance(raw, Sequence) or isinstance(raw, str):
+                raise ProfileError(f"{name} must be a list of pairs")
+            pairs = []
+            for entry in raw:
+                if (not isinstance(entry, Sequence) or len(entry) != 2
+                        or isinstance(entry, str)):
+                    raise ProfileError(
+                        f"{name} entries must be [value, fraction] pairs, "
+                        f"got {entry!r}")
+                value, mass = entry
+                try:
+                    pairs.append((int(value), float(mass)))
+                except (TypeError, ValueError):
+                    raise ProfileError(
+                        f"{name} entry {entry!r} is not numeric") from None
+            for value, mass in pairs:
+                if unit_mass and not 0.0 <= mass <= 1.0:
+                    raise ProfileError(
+                        f"{name} fraction for {value} out of [0, 1]")
+            return tuple(pairs)
+
+        def number(name: str, default=None):
+            value = payload.get(name, default)
+            if value is None:
+                raise ProfileError(f"profile lacks required field {name!r}")
+            try:
+                return value
+            except (TypeError, ValueError):  # pragma: no cover - guarded
+                raise ProfileError(f"{name} is not numeric") from None
+
+        try:
+            return cls(
+                source=str(payload.get("source", "?")),
+                num_cores=int(number("num_cores")),
+                references_per_core=int(number("references_per_core")),
+                blocks=int(number("blocks")),
+                write_fraction=float(number("write_fraction")),
+                sharing_blocks=table("sharing_blocks"),
+                sharing_accesses=table("sharing_accesses"),
+                degree_write_fraction=table("degree_write_fraction",
+                                            unit_mass=True),
+                reuse_distance=table("reuse_distance"),
+                cold_fraction=float(payload.get("cold_fraction", 0.0)),
+                repeat_fraction=float(payload.get("repeat_fraction", 0.0)),
+                think_time=table("think_time"),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ProfileError):
+                raise
+            raise ProfileError(f"invalid profile payload: {exc}") from exc
+
+    def save(self, path: os.PathLike) -> None:
+        """Write the profile as stable, diffable JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "WorkloadProfile":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(
+                f"{os.fspath(path)}: not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    # -- convenience ----------------------------------------------------
+    def scaled(self, **overrides) -> "WorkloadProfile":
+        """A dialed copy (``dataclasses.replace`` with validation)."""
+        return replace(self, **overrides)
+
+    def mean_sharing_degree(self) -> float:
+        """Access-weighted mean sharing degree."""
+        return sum(value * mass for value, mass in self.sharing_accesses)
+
+    def summary(self) -> str:
+        """One human-readable paragraph (the `repro trace profile` echo)."""
+        degrees = ", ".join(f"{d}:{m:.2f}"
+                            for d, m in self.sharing_accesses) or "-"
+        return (f"profile of {self.source!r}: {self.num_cores} cores x "
+                f"{self.references_per_core} refs, {self.blocks} blocks, "
+                f"write fraction {self.write_fraction:.3f}, "
+                f"mean sharing degree {self.mean_sharing_degree():.2f} "
+                f"(access-weighted {degrees}), "
+                f"repeat fraction {self.repeat_fraction:.3f}, "
+                f"cold fraction {self.cold_fraction:.3f}")
+
+
+def normalize_counts(counts: Mapping[int, float]) -> Distribution:
+    """Histogram counts -> a normalized :data:`Distribution`."""
+    return _normalize(counts.items())

@@ -433,6 +433,9 @@ def trace_info(path: os.PathLike) -> dict:
         "lineage": list(meta.lineage),
         "records": records,
         "references_per_core": min(per_core) if per_core else 0,
+        "per_core_records": list(per_core),
+        "reads": records - writes,
+        "writes": writes,
         "write_fraction": round(writes / records, 4) if records else 0.0,
         "file_bytes": os.path.getsize(path),
         "digest": trace_digest(path),

@@ -28,7 +28,7 @@ from repro.workloads.base import WorkloadGenerator
 
 #: Kinds a workload generator can be registered under (the CLI's
 #: ``list-scenarios --kind`` filter draws its choices from here).
-WORKLOAD_KINDS = ("pattern", "preset", "micro", "trace")
+WORKLOAD_KINDS = ("pattern", "preset", "micro", "trace", "synthetic")
 
 
 class WorkloadSpec(NamedTuple):
@@ -69,6 +69,7 @@ def _ensure_registered() -> None:
     import repro.workloads.patterns   # noqa: F401
     import repro.workloads.presets    # noqa: F401
     import repro.traces.workload      # noqa: F401  (the "trace" replayer)
+    import repro.synth.workload       # noqa: F401  (the profile sampler)
 
 
 def workload_names() -> Tuple[str, ...]:

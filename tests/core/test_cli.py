@@ -184,7 +184,9 @@ def _documented_invocations(text):
 
 @pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md",
                                  "docs/PERFORMANCE.md", "docs/API.md",
-                                 "docs/EXECUTION.md"])
+                                 "docs/EXECUTION.md",
+                                 "docs/VERIFICATION.md",
+                                 "benchmarks/repro_cases/README.md"])
 def test_documented_cli_recipes_exist(doc):
     """Anti-drift: every `repro` invocation in the docs must parse."""
     subcommands = _subcommands()
@@ -287,7 +289,7 @@ def test_non_integer_seed_rejected(capsys):
 def test_list_scenarios_shows_kind_column(capsys):
     assert main(["list-scenarios"]) == 0
     out = capsys.readouterr().out
-    for kind in ("pattern", "preset", "micro", "trace"):
+    for kind in ("pattern", "preset", "micro", "trace", "synthetic"):
         assert f"[{kind:7}]" in out
 
 
@@ -688,3 +690,116 @@ def test_study_run_failure_points_at_status_and_resume(tmp_path, capsys):
 def test_run_workload_choices_exclude_trace():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--workload", "trace"])
+
+
+# ---------------------------------------------------------------------------
+# repro trace profile | repro synth | repro verify fuzz
+# ---------------------------------------------------------------------------
+
+def test_trace_profile_command(tmp_path, capsys):
+    trace = str(tmp_path / "t.rpt")
+    out = str(tmp_path / "t.profile.json")
+    assert main(["trace", "record", "--workload", "migratory",
+                 "--cores", "4", "--refs", "20", "--out", trace]) == 0
+    capsys.readouterr()
+    assert main(["trace", "profile", trace, "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "write fraction" in printed and "sharing degree" in printed
+    import json
+    payload = json.loads(pathlib.Path(out).read_text())
+    assert payload["profile_schema"] == 1
+    assert payload["num_cores"] == 4
+
+
+def test_trace_profile_missing_file(tmp_path, capsys):
+    assert main(["trace", "profile", str(tmp_path / "nope.rpt")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def _profile_file(tmp_path):
+    from repro.synth import profile_workload
+    path = tmp_path / "fit.json"
+    profile_workload("migratory", num_cores=4,
+                     references_per_core=40).save(path)
+    return str(path)
+
+
+def test_synth_command_writes_trace_and_reports_fidelity(tmp_path,
+                                                         capsys):
+    profile = _profile_file(tmp_path)
+    out = str(tmp_path / "synth.rpt")
+    assert main(["synth", "--profile", profile, "--cores", "4",
+                 "--refs", "30", "--out", out]) == 0
+    printed = capsys.readouterr().out
+    assert "fidelity" in printed and "tv-distance" in printed
+    assert main(["trace", "info", out]) == 0
+    assert "synthetic" in capsys.readouterr().out
+
+
+def test_synth_command_run_and_knobs(tmp_path, capsys):
+    profile = _profile_file(tmp_path)
+    assert main(["synth", "--profile", profile, "--cores", "4",
+                 "--refs", "15", "--run", "--no-cache",
+                 "--write-fraction", "0.5"]) == 0
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_synth_command_errors_cleanly(tmp_path, capsys):
+    assert main(["synth", "--profile", str(tmp_path / "ghost.json"),
+                 "--out", str(tmp_path / "o.rpt")]) == 2
+    assert "error:" in capsys.readouterr().err
+    profile = _profile_file(tmp_path)
+    assert main(["synth", "--profile", profile, "--sharing-boost", "-1",
+                 "--out", str(tmp_path / "o.rpt")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_verify_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["verify"])
+
+
+def test_verify_fuzz_clean_campaign(tmp_path, capsys):
+    assert main(["verify", "fuzz", "--scenarios", "2",
+                 "--schedules", "2", "--seed", "3",
+                 "--out-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[OK]" in out and "seed=3" in out
+
+
+def test_verify_fuzz_inject_saves_and_replays(tmp_path, capsys):
+    report = tmp_path / "report.json"
+    assert main(["verify", "fuzz", "--scenarios", "1",
+                 "--schedules", "4", "--seed", "3", "--inject",
+                 "--out-dir", str(tmp_path),
+                 "--report", str(report)]) == 1
+    out = capsys.readouterr().out
+    assert "VIOLATIONS" in out
+    assert "verify fuzz --replay" in out  # points at how to reproduce
+    import json
+    payload = json.loads(report.read_text())
+    assert payload["violations"] and not payload["ok"]
+    assert payload["saved_cases"]
+    case = payload["saved_cases"][0]
+    assert main(["verify", "fuzz", "--replay", str(case)]) == 0
+    assert "reproduced" in capsys.readouterr().out
+
+
+def test_verify_fuzz_replay_missing_case(tmp_path, capsys):
+    assert main(["verify", "fuzz", "--replay",
+                 str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_verify_fuzz_rejects_bad_parameters(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["verify", "fuzz", "--scenarios", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["verify", "fuzz", "--protocols",
+                                   "mesi"])
+    capsys.readouterr()
+    # Parameters argparse cannot see through are still clean errors.
+    assert main(["verify", "fuzz", "--scenarios", "1", "--schedules",
+                 "1", "--time-budget", "-5"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -42,6 +42,12 @@ def test_all_presets_run_on_patch(workload_name, tmp_path):
         path = tmp_path / "e2e.rpt"
         save_trace(record_trace("oltp", 4, 40, seed=1), path)
         kwargs["path"] = str(path)
+    elif workload_name == "synthetic":  # file-backed: a fitted profile
+        from repro.synth import profile_workload
+        path = tmp_path / "e2e.profile.json"
+        profile_workload("migratory", num_cores=4,
+                         references_per_core=40).save(path)
+        kwargs["profile"] = str(path)
     workload = make_workload(workload_name, num_cores=4, seed=1, **kwargs)
     result = System(config, workload, references_per_core=40).run()
     assert result.total_references == 160

@@ -1,0 +1,99 @@
+"""Trace characterization: exact statistics on literal traces."""
+
+import pytest
+
+from repro.synth import profile_trace, profile_workload
+from repro.synth.characterize import _reuse_bucket
+from repro.traces.format import Trace, TraceMeta
+from repro.workloads.base import Access
+
+
+def _literal_trace(streams, source="lit"):
+    return Trace(meta=TraceMeta(num_cores=len(streams), source=source),
+                 streams=[[Access(block=b, is_write=w, think_time=t)
+                           for b, w, t in stream] for stream in streams])
+
+
+def test_sharing_degrees_and_write_mix_exact():
+    # Block 7 is shared by both cores (4 accesses, 2 writes); blocks 1
+    # and 2 are private (1 access each, block 2's is a write).
+    trace = _literal_trace([
+        [(7, True, 0), (1, False, 0), (7, False, 0)],
+        [(7, False, 0), (2, True, 0), (7, True, 0)],
+    ])
+    profile = profile_trace(trace)
+    assert profile.num_cores == 2
+    assert profile.blocks == 3
+    assert profile.write_fraction == pytest.approx(3 / 6)
+    assert profile.sharing_blocks == ((1, pytest.approx(2 / 3)),
+                                      (2, pytest.approx(1 / 3)))
+    assert profile.sharing_accesses == ((1, pytest.approx(2 / 6)),
+                                        (2, pytest.approx(4 / 6)))
+    assert dict(profile.degree_write_fraction) == {
+        1: pytest.approx(1 / 2), 2: pytest.approx(2 / 4)}
+
+
+def test_repeat_cold_think_and_reuse_exact():
+    # Core 0: A A B A -> repeats 1/3 of transitions; reuse distances:
+    # A@1: 0 (bucket 0), A@3: 1 (bucket 1); B and first A are cold.
+    trace = _literal_trace([
+        [(5, False, 2), (5, False, 2), (6, False, 0), (5, True, 9)],
+    ])
+    profile = profile_trace(trace)
+    assert profile.repeat_fraction == pytest.approx(1 / 3)
+    assert profile.cold_fraction == pytest.approx(2 / 4)
+    assert profile.reuse_distance == ((0, pytest.approx(0.5)),
+                                      (1, pytest.approx(0.5)))
+    assert dict(profile.think_time) == {
+        0: pytest.approx(1 / 4), 2: pytest.approx(2 / 4),
+        9: pytest.approx(1 / 4)}
+
+
+def test_reuse_distances_are_per_core_not_global():
+    # Each core only ever revisits its own block: the other core's
+    # interleaved accesses must not stretch the stack distance.
+    trace = _literal_trace([
+        [(1, False, 0), (1, False, 0)],
+        [(2, False, 0), (2, False, 0)],
+    ])
+    profile = profile_trace(trace)
+    assert profile.reuse_distance == ((0, 1.0),)
+
+
+@pytest.mark.parametrize("distance,bucket", [
+    (0, 0), (1, 1), (2, 2), (3, 2), (4, 4), (7, 4), (8, 8), (1000, 512),
+])
+def test_reuse_bucket_log2(distance, bucket):
+    assert _reuse_bucket(distance) == bucket
+
+
+def test_empty_trace_profiles_cleanly():
+    trace = _literal_trace([[]])
+    profile = profile_trace(trace)
+    assert profile.blocks == 0
+    assert profile.write_fraction == 0.0
+    assert profile.sharing_blocks == ()
+
+
+def test_source_override_and_workload_fit():
+    trace = _literal_trace([[(1, False, 0)]], source="orig")
+    assert profile_trace(trace).source == "orig"
+    assert profile_trace(trace, source="other").source == "other"
+    profile = profile_workload("false-sharing", num_cores=4,
+                               references_per_core=50)
+    assert profile.source == "false-sharing"
+    assert profile.num_cores == 4
+    assert profile.references_per_core == 50
+    # false sharing: every core hammers the same 8 hot blocks
+    assert profile.sharing_accesses == ((4, pytest.approx(1.0)),)
+
+
+def test_profile_workload_is_deterministic():
+    first = profile_workload("migratory", num_cores=4,
+                             references_per_core=40, seed=9)
+    second = profile_workload("migratory", num_cores=4,
+                              references_per_core=40, seed=9)
+    assert first == second
+    different = profile_workload("migratory", num_cores=4,
+                                 references_per_core=40, seed=10)
+    assert first != different

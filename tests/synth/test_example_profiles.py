@@ -1,0 +1,55 @@
+"""The committed profile corpus matches the fitter, byte for byte."""
+
+import importlib.util
+import os
+import pathlib
+
+import pytest
+
+from repro.synth import WorkloadProfile
+from repro.workloads.patterns import PATTERN_NAMES
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+PROFILE_DIR = REPO_ROOT / "examples" / "profiles"
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location(
+        "profiles_regen", PROFILE_DIR / "regen.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+REGEN = _load_regen()
+corpus_files = REGEN.corpus_files
+FIT_CORES, FIT_REFS, FIT_SEED = (REGEN.FIT_CORES, REGEN.FIT_REFS,
+                                 REGEN.FIT_SEED)
+
+
+def test_corpus_covers_every_pattern():
+    committed = {name for name in os.listdir(PROFILE_DIR)
+                 if name.endswith(".json")}
+    assert committed == {f"{name}.json" for name in PATTERN_NAMES}
+
+
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_committed_profile_matches_regeneration(pattern, tmp_path):
+    expected = corpus_files()[f"{pattern}.json"]
+    regenerated = tmp_path / "regen.json"
+    expected.save(regenerated)
+    committed = os.path.join(PROFILE_DIR, f"{pattern}.json")
+    assert regenerated.read_bytes() == open(committed, "rb").read(), (
+        f"{committed} is stale; rerun "
+        f"`PYTHONPATH=src python examples/profiles/regen.py`")
+
+
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_committed_profile_loads_with_expected_shape(pattern):
+    profile = WorkloadProfile.load(
+        os.path.join(PROFILE_DIR, f"{pattern}.json"))
+    assert profile.source == pattern
+    assert profile.num_cores == FIT_CORES
+    assert profile.references_per_core == FIT_REFS
+    assert FIT_SEED == 1  # the corpus contract the regen script pins
+    assert profile.sharing_accesses  # fitted, not empty

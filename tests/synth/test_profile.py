@@ -1,0 +1,128 @@
+"""WorkloadProfile: validation, JSON round trips, distribution math."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.synth import (PROFILE_SCHEMA, ProfileError, WorkloadProfile,
+                         normalize_counts, profile_workload,
+                         sample_distribution, tv_distance)
+from repro.workloads.patterns import PATTERN_NAMES
+
+
+def _tiny_profile(**overrides):
+    fields = dict(source="t", num_cores=2, references_per_core=4, blocks=3,
+                  write_fraction=0.5,
+                  sharing_blocks=((1, 0.5), (2, 0.5)),
+                  sharing_accesses=((1, 0.25), (2, 0.75)),
+                  degree_write_fraction=((1, 0.2), (2, 0.8)),
+                  think_time=((0, 1.0),))
+    fields.update(overrides)
+    return WorkloadProfile(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("bad", [
+    {"num_cores": 0},
+    {"blocks": -1},
+    {"write_fraction": 1.5},
+    {"cold_fraction": -0.1},
+    {"repeat_fraction": 2.0},
+])
+def test_rejects_out_of_range_fields(bad):
+    with pytest.raises(ProfileError):
+        _tiny_profile(**bad)
+
+
+def test_from_dict_rejects_wrong_schema_and_malformed_tables(tmp_path):
+    good = _tiny_profile().to_dict()
+    with pytest.raises(ProfileError, match="profile_schema"):
+        WorkloadProfile.from_dict({**good, "profile_schema": 99})
+    with pytest.raises(ProfileError, match="pairs"):
+        WorkloadProfile.from_dict({**good, "sharing_blocks": [[1]]})
+    with pytest.raises(ProfileError, match="numeric"):
+        WorkloadProfile.from_dict({**good, "sharing_blocks": [[1, "x"]]})
+    with pytest.raises(ProfileError, match="required"):
+        WorkloadProfile.from_dict({k: v for k, v in good.items()
+                                   if k != "num_cores"})
+    with pytest.raises(ProfileError):
+        WorkloadProfile.from_dict("not a mapping")
+    broken = tmp_path / "broken.json"
+    broken.write_text("{nope")
+    with pytest.raises(ProfileError, match="JSON"):
+        WorkloadProfile.load(broken)
+
+
+def test_degree_write_fraction_must_be_unit_mass():
+    good = _tiny_profile().to_dict()
+    with pytest.raises(ProfileError, match=r"\[0, 1\]"):
+        WorkloadProfile.from_dict(
+            {**good, "degree_write_fraction": [[1, 1.7]]})
+
+
+# ---------------------------------------------------------------------------
+# Round trips (acceptance: each pattern's fitted profile survives JSON)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("pattern", PATTERN_NAMES)
+def test_fitted_pattern_profile_roundtrips_through_json(pattern, tmp_path):
+    profile = profile_workload(pattern, num_cores=4,
+                               references_per_core=80, seed=3)
+    path = tmp_path / f"{pattern}.json"
+    profile.save(path)
+    loaded = WorkloadProfile.load(path)
+    # The on-disk form is the canonical one: a load/save cycle is
+    # byte-stable and the schema tag rides along.
+    assert loaded.to_dict() == profile.to_dict()
+    assert json.loads(path.read_text())["profile_schema"] == PROFILE_SCHEMA
+    loaded.save(tmp_path / "again.json")
+    assert (tmp_path / "again.json").read_bytes() == path.read_bytes()
+
+
+def test_scaled_returns_validated_copy():
+    profile = _tiny_profile()
+    dialed = profile.scaled(write_fraction=0.9)
+    assert dialed.write_fraction == 0.9
+    assert profile.write_fraction == 0.5  # original untouched
+    with pytest.raises(ProfileError):
+        profile.scaled(write_fraction=7.0)
+
+
+# ---------------------------------------------------------------------------
+# Distribution helpers
+# ---------------------------------------------------------------------------
+
+def test_normalize_counts_merges_and_rescales():
+    dist = normalize_counts({3: 2, 1: 6})
+    assert dist == ((1, 0.75), (3, 0.25))
+    assert normalize_counts({}) == ()
+    assert normalize_counts({5: 0}) == ()
+
+
+def test_tv_distance_bounds_and_identity():
+    a = ((1, 0.5), (2, 0.5))
+    assert tv_distance(a, a) == 0.0
+    assert tv_distance(a, ((3, 1.0),)) == 1.0
+    assert tv_distance(a, ((1, 1.0),)) == pytest.approx(0.5)
+
+
+@given(st.dictionaries(st.integers(0, 20),
+                       st.floats(0.001, 10.0), min_size=1, max_size=8),
+       st.floats(0.0, 0.999999))
+def test_sample_distribution_hits_support(counts, u):
+    dist = normalize_counts(counts)
+    value = sample_distribution(dist, u)
+    assert value in dict(dist)
+
+
+def test_mean_sharing_degree_is_access_weighted():
+    assert _tiny_profile().mean_sharing_degree() == pytest.approx(1.75)
+
+
+def test_summary_mentions_source_and_mix():
+    text = _tiny_profile().summary()
+    assert "'t'" in text and "0.500" in text

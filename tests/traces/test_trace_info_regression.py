@@ -1,0 +1,53 @@
+"""`trace_info` regression against a committed trace fixture.
+
+``tests/traces/data/info_fixture.rpt`` is a hand-built 3-core trace
+(4/2/3 records per core, 4 writes) committed to the repository, so
+every field ``repro trace info`` reports — including the per-core
+reference counts and read/write split — is pinned to an exact value.
+A byte of format drift, a counting bug, or a digest change fails here
+with the precise field named.
+"""
+
+import pathlib
+
+from repro.cli import main
+from repro.traces.format import trace_info
+
+FIXTURE = str(pathlib.Path(__file__).parent / "data" / "info_fixture.rpt")
+
+EXPECTED = {
+    "version": 1,
+    "num_cores": 3,
+    "source": "regression-fixture",
+    "seed": 42,
+    "lineage": ["truncate:4"],
+    "records": 9,
+    "references_per_core": 2,
+    "per_core_records": [4, 2, 3],
+    "reads": 5,
+    "writes": 4,
+    "write_fraction": 0.4444,
+    "file_bytes": 122,
+    "digest": ("a1025c99821d7649f153bc5ab342fda6"
+               "1ce387615226123b993e380b46468a02"),
+}
+
+
+def test_trace_info_reports_exact_committed_values():
+    info = trace_info(FIXTURE)
+    assert info.pop("path") == FIXTURE
+    assert info == EXPECTED
+
+
+def test_reads_writes_and_per_core_counts_are_consistent():
+    info = trace_info(FIXTURE)
+    assert info["reads"] + info["writes"] == info["records"]
+    assert sum(info["per_core_records"]) == info["records"]
+    assert min(info["per_core_records"]) == info["references_per_core"]
+
+
+def test_cli_trace_info_prints_the_new_fields(capsys):
+    assert main(["trace", "info", FIXTURE]) == 0
+    out = capsys.readouterr().out
+    assert "per_core_records" in out and "[4, 2, 3]" in out
+    assert "reads" in out and "writes" in out

@@ -1,0 +1,96 @@
+"""Property-based tests of the trace transforms (hypothesis).
+
+The transforms promise to be pure functions ``Trace -> Trace`` that
+(1) touch only what they advertise and (2) append exactly one lineage
+step each, so a derived trace file always records how it was made.
+These properties quantify over arbitrary small traces rather than the
+handful of literal cases in ``test_transforms.py``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces import (fold_cores, interleave, load_trace,
+                          perturb_think, save_trace, truncate)
+from repro.traces.format import Trace, TraceMeta
+from repro.workloads.base import Access
+
+accesses = st.builds(Access,
+                     block=st.integers(0, 500),
+                     is_write=st.booleans(),
+                     think_time=st.integers(0, 30))
+
+traces = st.lists(st.lists(accesses, max_size=10), min_size=1,
+                  max_size=4).map(
+    lambda streams: Trace(
+        meta=TraceMeta(num_cores=len(streams), source="prop", seed=3),
+        streams=streams))
+
+
+@given(traces, st.integers(0, 12))
+def test_truncate_is_idempotent(trace, quota):
+    once = truncate(trace, quota)
+    twice = truncate(once, quota)
+    assert twice.streams == once.streams
+    assert all(len(stream) <= quota for stream in once.streams)
+
+
+@given(traces)
+def test_fold_onto_same_core_count_is_identity(trace):
+    folded = fold_cores(trace, trace.num_cores)
+    assert folded.streams == trace.streams
+    assert folded.meta.lineage == (f"fold:{trace.num_cores}",)
+
+
+@given(traces, st.integers(1, 4))
+def test_fold_conserves_records_and_per_core_order(trace, target):
+    target = min(target, trace.num_cores)
+    folded = fold_cores(trace, target)
+    assert folded.num_records == trace.num_records
+    for source_core, stream in enumerate(trace.streams):
+        merged = folded.streams[source_core % target]
+        # The source stream appears in the merged stream in order.
+        position = 0
+        for access in stream:
+            position = merged.index(access, position) + 1
+
+
+@given(traces, st.integers(0, 2 ** 30))
+def test_perturb_with_zero_jitter_is_identity(trace, seed):
+    perturbed = perturb_think(trace, seed, jitter=0)
+    assert perturbed.streams == trace.streams
+
+
+@given(traces, st.integers(0, 2 ** 30), st.integers(0, 8))
+def test_perturb_touches_only_think_times(trace, seed, jitter):
+    perturbed = perturb_think(trace, seed, jitter)
+    for original, derived in zip(trace.streams, perturbed.streams):
+        assert [(a.block, a.is_write) for a in original] \
+            == [(a.block, a.is_write) for a in derived]
+        assert all(a.think_time >= 0 for a in derived)
+
+
+@given(traces, traces)
+def test_interleave_conserves_both_inputs(first, second):
+    merged = interleave(first, second)
+    assert merged.num_records == first.num_records + second.num_records
+    assert merged.num_cores == max(first.num_cores, second.num_cores)
+
+
+@settings(max_examples=25)
+@given(traces, st.integers(0, 6), st.integers(1, 4), st.integers(0, 99),
+       st.integers(0, 5))
+def test_composition_accumulates_lineage_and_survives_disk(
+        tmp_path_factory, trace, quota, fold_to, seed, jitter):
+    fold_to = min(fold_to, trace.num_cores)
+    derived = perturb_think(
+        fold_cores(truncate(trace, quota), fold_to), seed, jitter)
+    assert derived.meta.lineage == (
+        f"truncate:{quota}", f"fold:{fold_to}", f"perturb:{seed}~{jitter}")
+    assert derived.meta.source == trace.meta.source
+    assert derived.meta.seed == trace.meta.seed
+    path = tmp_path_factory.mktemp("lineage") / "derived.rpt"
+    save_trace(derived, path)
+    loaded = load_trace(path)
+    assert loaded.meta == derived.meta
+    assert loaded.streams == derived.streams

@@ -1,0 +1,76 @@
+"""Schedule-explorer edge cases: degenerate scenarios and reports."""
+
+import pytest
+
+from repro.verify.explorer import (ExplorationReport, RaceScenario,
+                                   ScheduleExplorer, ScheduleFailure)
+from repro.workloads.base import Access
+
+
+def test_single_core_scenario_explores_cleanly():
+    scenario = RaceScenario("solo", 1, {
+        0: [Access(100, True, 0), Access(100, False, 5),
+            Access(116, True, 0)],
+    })
+    for protocol in ("directory", "patch", "tokenb"):
+        report = ScheduleExplorer(scenario, protocol=protocol).explore(3)
+        assert report.ok, (protocol, [f.error for f in report.failures])
+        assert report.schedules == 3
+        assert len(report.runtimes) == 3
+
+
+def test_padded_scripts_fill_idle_cores_with_private_blocks():
+    scenario = RaceScenario("gaps", 4, {
+        1: [Access(100, True, 0), Access(100, False, 0)],
+        3: [Access(100, False, 0)],
+    })
+    padded = scenario.padded_scripts()
+    assert set(padded) == {0, 1, 2, 3}
+    quota = scenario.references_per_core
+    assert quota == 2
+    assert all(len(script) == quota for script in padded.values())
+    # Cores with no (or short) scripts idle on per-core filler blocks:
+    # reads of distinct private addresses that cannot contend.
+    assert padded[0] == [Access(10_000, False, 0)] * 2
+    assert padded[2] == [Access(10_002, False, 0)] * 2
+    assert padded[3][1] == Access(10_003, False, 0)
+    # Scripted prefixes survive untouched.
+    assert padded[1] == scenario.scripts[1]
+    assert padded[3][0] == Access(100, False, 0)
+
+
+def test_scenario_with_script_gaps_runs_end_to_end():
+    scenario = RaceScenario("gaps", 3, {
+        1: [Access(100, True, 0), Access(100, True, 0)],
+    })
+    report = ScheduleExplorer(scenario, protocol="patch").explore(2)
+    assert report.ok, [f.error for f in report.failures]
+
+
+def test_summary_on_mixed_pass_fail():
+    report = ExplorationReport(scenario="mixed", protocol="patch",
+                               schedules=5,
+                               failures=[ScheduleFailure(3, "boom")],
+                               runtimes=[10, 40, 25, 31])
+    assert not report.ok
+    text = report.summary()
+    assert "1 FAILURES" in text
+    assert "mixed on patch" in text
+    assert "5 schedules" in text
+    assert "runtimes 10-40" in text
+
+
+def test_summary_with_no_successful_runs():
+    report = ExplorationReport(scenario="allfail", protocol="tokenb",
+                               schedules=2,
+                               failures=[ScheduleFailure(0, "a"),
+                                         ScheduleFailure(1, "b")])
+    assert report.summary().startswith("[2 FAILURES]")
+    assert "no runs" in report.summary()
+
+
+def test_all_ok_summary():
+    report = ExplorationReport(scenario="clean", protocol="directory",
+                               schedules=1, runtimes=[7])
+    assert report.ok
+    assert report.summary().startswith("[OK]")

@@ -16,9 +16,11 @@ PATTERN_CLASSES = (MigratoryWorkload, ProducerConsumerWorkload,
 
 #: Names of the *generative* workloads: buildable from (num_cores, seed)
 #: alone.  The file-backed "trace" replayer needs a path kwarg and
-#: ignores the seed by design; its contract is covered by tests/traces/.
+#: ignores the seed by design (covered by tests/traces/), and
+#: "synthetic" needs a fitted profile kwarg (covered by tests/synth/).
 GENERATIVE_NAMES = tuple(name for name in workload_names()
-                         if get_spec(name).kind != "trace")
+                         if get_spec(name).kind not in ("trace",
+                                                        "synthetic"))
 
 
 def stream(workload, cores, n):
@@ -52,7 +54,8 @@ def test_specs_sorted_and_described():
     assert [s.name for s in specs] == sorted(workload_names())
     for spec in specs:
         assert spec.description
-        assert spec.kind in ("pattern", "preset", "micro", "trace")
+        assert spec.kind in ("pattern", "preset", "micro", "trace",
+                             "synthetic")
 
 
 def test_make_workload_builds_every_generative_generator():

@@ -141,7 +141,9 @@ def test_invalid_mix_rejected():
 
 def test_all_presets_buildable():
     for name in WORKLOAD_NAMES:
-        if name == "trace":  # file-backed; covered by tests/traces/
+        if name in ("trace", "synthetic"):
+            # File-backed (path/profile kwarg); covered by
+            # tests/traces/ and tests/synth/ respectively.
             continue
         workload = make_workload(name, num_cores=4, seed=1)
         access = workload.next_access(0)
