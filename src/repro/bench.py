@@ -739,16 +739,21 @@ PERF_CHECKED_FIELDS = ("runtime_cycles", "traffic_total_bytes",
 
 
 def kernel_events_per_second(pending: int = 2048, events: int = 100_000,
-                             repeats: int = 3) -> float:
+                             repeats: int = 3,
+                             engine: Optional[str] = None) -> float:
     """Raw kernel scheduling throughput (events/sec, best of repeats).
 
-    Keeps ``pending`` self-rescheduling chains in flight so the heap
+    Keeps ``pending`` self-rescheduling chains in flight so the queue
     depth resembles a real run, then dispatches ``events`` callbacks.
+    ``engine`` selects whose event kernel to time (default: the
+    reference engine's).
     """
-    from repro.sim.kernel import Simulator
+    from repro.engines import DEFAULT_ENGINE, get_engine
+
+    make_kernel = get_engine(engine or DEFAULT_ENGINE).kernel
 
     def one_pass() -> float:
-        sim = Simulator()
+        sim = make_kernel()
         remaining = [events]
 
         def tick(chain: int, _sim=sim, _remaining=remaining):
@@ -766,29 +771,31 @@ def kernel_events_per_second(pending: int = 2048, events: int = 100_000,
 
 
 def engine_perf_cell(protocol: str, predictor: str, num_cores: int,
-                     references_per_core: int) -> Dict[str, object]:
+                     references_per_core: int,
+                     engine: Optional[str] = None) -> Dict[str, object]:
     """Time one in-process simulation on the default torus.
 
     Runs outside the parallel runner and result cache on purpose: the
     point is to time the simulation itself, and a cache hit would time
-    nothing.
+    nothing.  ``engine`` selects the simulation engine to time; the
+    build goes straight through the registry factory (not the parity
+    gate) because ``--check`` compares every engine's cycle counts
+    against the same committed goldens anyway.
     """
-    from repro.core.system import System
+    from repro.engines import DEFAULT_ENGINE, get_engine
     from repro.workloads import make_workload
 
+    engine = engine or DEFAULT_ENGINE
     config = SystemConfig(num_cores=num_cores, protocol=protocol,
-                          predictor=predictor)
+                          predictor=predictor, engine=engine)
     workload = make_workload("microbench", num_cores=num_cores, seed=1)
-    system = System(config, workload,
-                    references_per_core=references_per_core)
+    system = get_engine(engine).factory(
+        config, workload, references_per_core=references_per_core)
     start = time.perf_counter()
     result = system.run()
     wall = time.perf_counter() - start
     return {
-        "protocol": protocol,
-        "predictor": predictor,
-        "num_cores": num_cores,
-        "references_per_core": references_per_core,
+        "engine": engine,
         "wall_seconds": round(wall, 6),
         "runtime_cycles": result.runtime_cycles,
         "events_processed": result.events_processed,
@@ -800,18 +807,47 @@ def engine_perf_cell(protocol: str, predictor: str, num_cores: int,
 
 
 def engine_perf_results(quick: bool = False) -> Dict[str, object]:
-    """The full engine-throughput report (kernel + workload cells)."""
+    """The full engine-throughput report (kernel + workload cells).
+
+    Every registered engine is timed side by side: the kernel
+    microbench per engine, and each :data:`PERF_CELLS` cell once per
+    engine, with a per-cell ``speedup`` map (events/sec relative to the
+    reference engine — results are bit-identical across engines, so the
+    event counts being divided are the same schedule).
+    """
+    from repro.engines import DEFAULT_ENGINE, engine_names
+
+    engines = engine_names()
     if quick:
-        kernel = kernel_events_per_second(events=30_000, repeats=2)
+        kernel_kwargs: Dict[str, int] = {"events": 30_000, "repeats": 2}
         cores, refs = 16, 120
     else:
-        kernel = kernel_events_per_second()
+        kernel_kwargs = {}
         cores, refs = 16, 400
-    cells = {label: engine_perf_cell(protocol, predictor, cores, refs)
-             for label, protocol, predictor in PERF_CELLS}
+    kernel = {engine: round(kernel_events_per_second(engine=engine,
+                                                     **kernel_kwargs), 1)
+              for engine in engines}
+    cells: Dict[str, Dict[str, object]] = {}
+    for label, protocol, predictor in PERF_CELLS:
+        measured = {engine: engine_perf_cell(protocol, predictor, cores,
+                                             refs, engine=engine)
+                    for engine in engines}
+        reference = measured[DEFAULT_ENGINE]["events_per_second"]
+        cells[label] = {
+            "protocol": protocol,
+            "predictor": predictor,
+            "num_cores": cores,
+            "references_per_core": refs,
+            "engines": measured,
+            "speedup": {
+                engine: round(measured[engine]["events_per_second"]
+                              / reference, 3)
+                for engine in engines if engine != DEFAULT_ENGINE},
+        }
     return {
         "scale": "quick" if quick else "full",
-        "kernel_events_per_second": round(kernel, 1),
+        "engines": list(engines),
+        "kernel_events_per_second": kernel,
         "cells": cells,
     }
 
@@ -834,12 +870,19 @@ def check_perf_goldens(perf: Dict[str, object],
         if golden is None:
             problems.append(f"{perf['scale']}/{label}: no committed golden")
             continue
-        for fieldname in PERF_CHECKED_FIELDS:
-            expected_value = golden.get(fieldname)
-            if cell[fieldname] != expected_value:
-                problems.append(
-                    f"{perf['scale']}/{label}: {fieldname} drifted "
-                    f"(golden {expected_value}, got {cell[fieldname]})")
+        for engine, measured in cell["engines"].items():
+            engine_golden = golden.get(engine)
+            if engine_golden is None:
+                problems.append(f"{perf['scale']}/{label}: no committed "
+                                f"golden for engine {engine!r}")
+                continue
+            for fieldname in PERF_CHECKED_FIELDS:
+                expected_value = engine_golden.get(fieldname)
+                if measured[fieldname] != expected_value:
+                    problems.append(
+                        f"{perf['scale']}/{label}/{engine}: {fieldname} "
+                        f"drifted (golden {expected_value}, "
+                        f"got {measured[fieldname]})")
     return problems
 
 
@@ -857,9 +900,10 @@ def update_perf_goldens(goldens_path: str = PERF_GOLDENS_PATH,
         perf = engine_perf_results(quick=quick)
         measured[perf["scale"]] = perf
         payload[perf["scale"]] = {
-            label: {fieldname: cell[fieldname]
-                    for fieldname in PERF_CHECKED_FIELDS + (
-                        "events_processed",)}
+            label: {engine: {fieldname: engine_cell[fieldname]
+                             for fieldname in PERF_CHECKED_FIELDS + (
+                                 "events_processed",)}
+                    for engine, engine_cell in cell["engines"].items()}
             for label, cell in perf["cells"].items()}
     os.makedirs(os.path.dirname(goldens_path), exist_ok=True)
     with open(goldens_path, "w", encoding="utf-8") as handle:
@@ -883,13 +927,20 @@ def run_perf(quick: bool = False, out_path: str = "bench_results.json",
     """
     if perf is None:
         perf = engine_perf_results(quick=quick)
-    echo(f"[kernel] {perf['kernel_events_per_second']:>12,.0f} events/sec "
-         f"(heap-deep scheduling microbench)")
+    for engine in perf["engines"]:
+        rate = perf["kernel_events_per_second"][engine]
+        echo(f"[kernel/{engine}] {rate:>12,.0f} events/sec "
+             f"(queue-deep scheduling microbench)")
     for label, cell in perf["cells"].items():
-        echo(f"[{label:>10}] {cell['wall_seconds']:8.2f}s  "
-             f"{cell['events_per_second']:>12,.0f} events/sec  "
-             f"{cell['cycles_per_second']:>12,.0f} sim-cycles/sec  "
-             f"(runtime {cell['runtime_cycles']} cycles)")
+        for engine in perf["engines"]:
+            measured = cell["engines"][engine]
+            echo(f"[{label}/{engine}] {measured['wall_seconds']:8.2f}s  "
+                 f"{measured['events_per_second']:>12,.0f} events/sec  "
+                 f"{measured['cycles_per_second']:>12,.0f} sim-cycles/sec  "
+                 f"(runtime {measured['runtime_cycles']} cycles)")
+        for engine, ratio in sorted(cell["speedup"].items()):
+            echo(f"[{label}] {engine}: {ratio:.2f}x events/sec "
+                 f"vs reference engine")
     report: Dict[str, object] = {"schema": 1}
     if os.path.exists(out_path):
         try:

@@ -80,6 +80,8 @@ from repro.core.runner import (ADAPTIVITY_CONFIGS, PAPER_CONFIGS,
 from repro.core.sweeps import (bandwidth_sweep, coarseness_points,
                                encoding_sweep, scalability_sweep,
                                scenario_matrix)
+from repro.engines import (ENGINE_ENV, default_engine_name, engine_names,
+                           engine_specs)
 from repro.exec import (NO_CACHE_ENV, CellExecutionError, ParallelRunner,
                         ResultCache, code_version, executor_names,
                         set_default_runner)
@@ -165,6 +167,14 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default=None,
+                        choices=engine_names(),
+                        help="simulation engine (default: $REPRO_ENGINE "
+                             "or 'object'; see docs/PERFORMANCE.md, "
+                             "'Engine variants')")
+
+
 def _runner_from_args(args) -> Optional[ParallelRunner]:
     """Build the runner described by --jobs/--no-cache/--cache-dir."""
     if not hasattr(args, "jobs"):
@@ -203,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one simulation")
     _add_common(run, refs_default=None)
     _add_exec_options(run)
+    _add_engine_option(run)
     run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
     run.add_argument("--predictor", default="all", choices=PREDICTORS)
     run.add_argument("--topology", default="torus",
@@ -265,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="regenerate the full figure suite with timings")
     _add_exec_options(bench)
+    _add_engine_option(bench)
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke-test scale (smaller grids, 1 seed)")
     bench.add_argument("--results-dir",
@@ -463,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "aggregates (deterministic grid order)")
     srun.add_argument("spec", metavar="SPEC.json")
     _add_exec_options(srun)
+    _add_engine_option(srun)
     srun.add_argument("--resume", action="store_true",
                       help="continue the study's recorded manifest: cells "
                            "already done load from the cache, only the "
@@ -480,6 +493,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec_options(sstatus)
 
     sub.add_parser("list", help="list workloads and configurations")
+    sub.add_parser("engines",
+                   help="list registered simulation engines")
     list_scenarios = sub.add_parser(
         "list-scenarios",
         help="list every registered workload generator and "
@@ -639,6 +654,17 @@ def cmd_list(args) -> int:
     print("\nBandwidth-adaptivity configurations:")
     for label, overrides in ADAPTIVITY_CONFIGS.items():
         print(f"  {label:24} {overrides}")
+    return 0
+
+
+def cmd_engines(args) -> int:
+    default = default_engine_name()
+    print("Simulation engines (repro run --engine NAME):")
+    for spec in engine_specs():
+        print(f"  {spec.name:20} {spec.description}")
+    print(f"\nDefault: {default} (override with --engine or "
+          f"${ENGINE_ENV}); every engine is parity-gated against "
+          f"'object' (docs/ARCHITECTURE.md, 'Engine variants')")
     return 0
 
 
@@ -1020,6 +1046,7 @@ COMMANDS = {
     "verify": cmd_verify,
     "bench": cmd_bench,
     "list": cmd_list,
+    "engines": cmd_engines,
     "list-scenarios": cmd_list_scenarios,
 }
 
@@ -1029,9 +1056,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     runner = _runner_from_args(args)
     if runner is not None:
         set_default_runner(runner)
+    # --engine resolves through the environment: every SystemConfig
+    # built under this command then defaults to the chosen engine, so
+    # it rides explicitly in cells, cache keys, and study manifests.
+    # (Spec/config fields naming an engine explicitly still win.)
+    engine = getattr(args, "engine", None)
+    saved_engine = os.environ.get(ENGINE_ENV)
+    if engine is not None:
+        os.environ[ENGINE_ENV] = engine
     try:
         return COMMANDS[args.command](args)
     finally:
+        if engine is not None:
+            if saved_engine is None:
+                os.environ.pop(ENGINE_ENV, None)
+            else:
+                os.environ[ENGINE_ENV] = saved_engine
         if runner is not None:
             set_default_runner(None)
 

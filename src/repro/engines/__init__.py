@@ -1,0 +1,148 @@
+"""Name-based registry of simulation engines (see docs/ARCHITECTURE.md).
+
+An *engine* is one implementation of the whole simulation core — the
+event kernel, the interconnect model, and the controller state layout —
+behind the single :class:`~repro.core.system.System` assembly.  Engines
+register here by name, mirroring the workload / topology / executor
+registries, so the CLI (``--engine``), the environment
+(``REPRO_ENGINE``), and :class:`~repro.config.SystemConfig`'s
+``engine`` field all select one the same way:
+
+* ``object`` — the reference implementation: one Python object per
+  cache line, directory entry, and queued message;
+* ``array`` — the struct-of-arrays rewrite: flat preallocated arrays
+  for line/directory/MSHR state plus a batched same-timestamp event
+  drain in the kernel.
+
+Every engine produces *field-for-field identical* results (the
+golden-parity suite runs the full scenario grid under each), so the
+choice is purely speed.  That contract is enforced at runtime too:
+:func:`build_system` routes non-reference engines through the parity
+gate in :mod:`repro.engines.parity`, which falls back — loudly — to
+the reference engine if a canary cell ever diverges.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, NamedTuple, Tuple
+
+__all__ = [
+    "DEFAULT_ENGINE", "ENGINE_ENV", "EngineSpec", "build_system",
+    "default_engine_name", "engine_names", "engine_specs", "get_engine",
+    "is_registered_engine", "register_engine",
+]
+
+#: Environment override for the engine (CLI: ``--engine``).
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: The engine used when nothing selects one explicitly; also the
+#: reference implementation the parity gate falls back to.
+DEFAULT_ENGINE = "object"
+
+
+class EngineSpec(NamedTuple):
+    """One registered engine: its factories and what it is for."""
+
+    name: str
+    #: ``factory(config, workload, references_per_core, **kwargs)``
+    #: returning a ready-to-run :class:`~repro.core.system.System`.
+    factory: Callable[..., Any]
+    description: str
+    #: Zero-arg factory for the engine's bare event kernel (the perf
+    #: bench times raw scheduling throughput per engine).
+    kernel: Callable[[], Any]
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(name: str, factory: Callable[..., Any],
+                    description: str,
+                    kernel: Callable[[], Any]) -> None:
+    """Register ``factory`` as the engine named ``name``."""
+    if name in _REGISTRY:
+        raise ValueError(f"engine {name!r} already registered")
+    _REGISTRY[name] = EngineSpec(name, factory, description, kernel)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def engine_specs() -> Tuple[EngineSpec, ...]:
+    """Every registered engine's spec, sorted by name."""
+    return tuple(_REGISTRY[name] for name in engine_names())
+
+
+def is_registered_engine(name: str) -> bool:
+    """Whether ``name`` names a registered engine."""
+    return name in _REGISTRY
+
+
+def get_engine(name: str) -> EngineSpec:
+    """The spec of the engine named ``name`` (pointed error otherwise)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(engine_names())}") from None
+
+
+def default_engine_name() -> str:
+    """``REPRO_ENGINE`` if set (validated), else ``"object"``."""
+    name = os.environ.get(ENGINE_ENV)
+    if name:
+        if name not in _REGISTRY:
+            raise ValueError(
+                f"{ENGINE_ENV} names an unknown engine {name!r}; "
+                f"registered engines: {', '.join(engine_names())}")
+        return name
+    return DEFAULT_ENGINE
+
+
+def build_system(config, workload, references_per_core: int,
+                 **kwargs):
+    """Build the :class:`System` for ``config.engine``, parity-gated.
+
+    This is the funnel every cell execution goes through: the engine
+    name comes from the config (so it rides in cells and cache keys),
+    and any non-reference engine first clears the parity gate — see
+    :func:`repro.engines.parity.gated_engine_name` — which substitutes
+    the reference engine (with a loud warning) if a canary diverges.
+    """
+    from repro.engines.parity import gated_engine_name
+    spec = get_engine(gated_engine_name(config.engine))
+    return spec.factory(config, workload, references_per_core, **kwargs)
+
+
+def _build_object(config, workload, references_per_core, **kwargs):
+    from repro.core.system import System
+    return System(config, workload, references_per_core, **kwargs)
+
+
+def _build_array(config, workload, references_per_core, **kwargs):
+    from repro.engines.array.system import ArraySystem
+    return ArraySystem(config, workload, references_per_core, **kwargs)
+
+
+def _kernel_object():
+    from repro.sim.kernel import Simulator
+    return Simulator()
+
+
+def _kernel_array():
+    from repro.sim.kernel import BatchedSimulator
+    return BatchedSimulator()
+
+
+register_engine("object", _build_object,
+                "per-object reference implementation (one Python object "
+                "per line, entry, and queued message)",
+                kernel=_kernel_object)
+register_engine("array", _build_array,
+                "struct-of-arrays state with batched same-timestamp "
+                "event draining (fast path; parity-gated)",
+                kernel=_kernel_array)

@@ -1,0 +1,24 @@
+"""The ``array`` engine: struct-of-arrays state, batched event drain.
+
+A pure performance variant of the reference engine (see
+docs/ARCHITECTURE.md, "Engine variants"):
+
+* the kernel is :class:`~repro.sim.kernel.BatchedSimulator` — all
+  same-timestamp events drain in one pass instead of per-pop heap
+  churn;
+* the interconnect is :class:`~repro.engines.array.network.ArrayNetwork`
+  — hops are tuples, link bookkeeping lives in flat arrays, and event
+  scheduling is inlined against the batched kernel's buckets;
+* cache and MSHR state is re-backed by flat preallocated arrays
+  (integer state codes, packed token words, ``bytes`` bitsets) behind
+  audit-compatible views.
+
+Results are field-for-field identical to the ``object`` engine — the
+golden-parity suite runs every scenario cell under both, and the
+runtime parity gate (:mod:`repro.engines.parity`) enforces it again in
+every process that selects this engine.
+"""
+
+from repro.engines.array.system import ArraySystem
+
+__all__ = ["ArraySystem"]

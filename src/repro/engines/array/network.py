@@ -1,0 +1,330 @@
+"""Array-native interconnect: the ``array`` engine's link-level model.
+
+A transliteration of :class:`~repro.interconnect.network.SwitchedNetwork`
+that executes the *same event schedule* — every sequence number is
+drawn in the same order, every reserved no-op slot is elided the same
+way, so results are bit-identical — with the per-event mechanics
+stripped down:
+
+* hops are plain 7-tuples ``(inner, final_dest, tree, deliver_set,
+  priority, size_bytes, msg_class)`` instead of ``_Hop`` objects: no
+  ``__init__`` call per hop, index loads instead of slot loads;
+* serialization durations are memoized in one dict shared by every
+  link (all links share one bandwidth), so the memo is warm after the
+  first message of each size anywhere in the fabric;
+* event scheduling is inlined against
+  :class:`~repro.sim.kernel.BatchedSimulator`'s buckets.  This is the
+  engine's hottest loop — two schedules per transmission — and the
+  inline skips the call, the negative-delay check, and (for strictly
+  future times, which serve/arrive always are) the mid-drain
+  ``insort`` branch: a strictly future bucket can never be the one
+  being drained, so a plain append is correct and the drain's
+  one-time sort restores key order.
+
+The inlining ties this network to the batched kernel's representation;
+:class:`~repro.engines.array.system.ArraySystem` always pairs them.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from collections import deque
+from heapq import heappush as _heappush
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.interconnect.message import Message
+from repro.interconnect.network import (LOCAL_DELIVERY_LATENCY,
+                                        NetworkInterface)
+from repro.interconnect.topology import Topology
+from repro.sim.kernel import BatchedSimulator
+from repro.stats.traffic import TrafficMeter
+
+Handler = Callable[[Message], None]
+
+#: Hop tuple field indexes (see module docstring).
+_INNER, _FINAL_DEST, _TREE, _DELIVER, _PRIORITY, _SIZE, _CLASS = range(7)
+
+
+class _ArrayLink:
+    """One directed link of the array engine.
+
+    Same contract as the reference ``_LinkServer`` — fixed per-hop
+    latency plus serialization at ``bandwidth`` bytes/cycle, two
+    priority FIFOs, stale-drop for best-effort traffic, reserved-seq
+    elision of no-op follow-up serves — on tuple hops and inlined
+    bucket scheduling.
+    """
+
+    __slots__ = ("sim", "src", "dst", "normal", "best_effort",
+                 "busy_until", "_scheduled", "_reserved_seq", "busy_cycles",
+                 "meter", "hop_latency", "drop_age", "bandwidth",
+                 "_durations", "_inflight", "_serve_cb", "_arrive_cb",
+                 "_forward_row", "_fanout_row", "_endpoints")
+
+    def __init__(self, network: "ArrayNetwork", src: int, dst: int) -> None:
+        self.sim = network.sim
+        self.src = src
+        self.dst = dst
+        self.normal: Deque[tuple] = deque()
+        self.best_effort: Deque[Tuple[tuple, int]] = deque()
+        self.busy_until = 0
+        self._scheduled = False
+        self._reserved_seq = -1
+        self.busy_cycles = 0
+        self.meter = network.meter
+        self.hop_latency = network.hop_latency
+        self.drop_age = network.drop_age
+        self.bandwidth = network.bandwidth
+        self._durations = network._durations  # shared size -> cycles memo
+        self._forward_row: List[Optional["_ArrayLink"]] = []
+        self._fanout_row: List[Optional["_ArrayLink"]] = []
+        self._endpoints: List[Optional[Handler]] = []
+        self._inflight: Deque[tuple] = deque()
+        self._serve_cb = self._serve
+        self._arrive_cb = self._arrive_next
+
+    def enqueue(self, hop: tuple) -> None:
+        sim = self.sim
+        now = sim.now
+        if hop[_PRIORITY]:
+            self.best_effort.append((hop, now))
+        else:
+            self.normal.append(hop)
+        if self._scheduled:
+            return
+        self._scheduled = True
+        busy = self.busy_until
+        reserved = self._reserved_seq
+        if reserved >= 0:
+            self._reserved_seq = -1
+            if now < busy or (now == busy
+                              and sim._current_seq < reserved):
+                # Materialize the follow-up serve under its reserved
+                # tie-break slot (inlined post_reserved; ``busy`` can
+                # equal ``now``, so the mid-drain branch stays).
+                buckets = sim._buckets
+                bucket = buckets.get(busy)
+                if bucket is None:
+                    buckets[busy] = [(reserved, self._serve_cb)]
+                    _heappush(sim._times, busy)
+                elif busy == sim._draining:
+                    insort(bucket, (reserved, self._serve_cb),
+                           sim._drain_pos)
+                else:
+                    bucket.append((reserved, self._serve_cb))
+                sim._live += 1
+                return
+        time = busy if busy > now else now
+        seq = sim._seq
+        sim._seq = seq + 1
+        buckets = sim._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(seq, self._serve_cb)]
+            _heappush(sim._times, time)
+        elif time == sim._draining:
+            insort(bucket, (seq, self._serve_cb), sim._drain_pos)
+        else:
+            bucket.append((seq, self._serve_cb))
+        sim._live += 1
+
+    def _serve(self) -> None:
+        """Transmit the highest-priority queued hop, if any."""
+        sim = self.sim
+        if self.normal:
+            hop = self.normal.popleft()
+        else:
+            hop = None
+            best_effort = self.best_effort
+            if best_effort:
+                now = sim.now
+                drop_age = self.drop_age
+                while best_effort:
+                    candidate, enqueued = best_effort.popleft()
+                    if drop_age is not None and now - enqueued > drop_age:
+                        self.meter.record_drop(candidate[_SIZE])
+                        continue
+                    hop = candidate
+                    break
+            if hop is None:
+                self._scheduled = False
+                return
+        size = hop[_SIZE]
+        duration = self._durations.get(size)
+        if duration is None:
+            duration = max(1, math.ceil(size / self.bandwidth))
+            self._durations[size] = duration
+        now = sim.now
+        self.busy_until = now + duration
+        self.busy_cycles += duration
+        meter = self.meter
+        msg_class = hop[_CLASS]
+        meter.bytes[msg_class] += size
+        meter.link_traversals[msg_class] += 1
+        self._inflight.append(hop)
+        # Inlined schedules, same draw order as the reference link:
+        # the arrival takes ``seq``, the follow-up serve (or its
+        # reserved slot) takes ``seq + 1``.  Both times are strictly
+        # future, so plain bucket appends are safe.
+        seq = sim._seq
+        sim._seq = seq + 2
+        buckets = sim._buckets
+        time = now + duration + self.hop_latency
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [(seq, self._arrive_cb)]
+            _heappush(sim._times, time)
+        else:
+            bucket.append((seq, self._arrive_cb))
+        if self.normal or self.best_effort:
+            sim._live += 2
+            time = now + duration
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [(seq + 1, self._serve_cb)]
+                _heappush(sim._times, time)
+            else:
+                bucket.append((seq + 1, self._serve_cb))
+        else:
+            # Queues are empty: reserve the follow-up serve's slot
+            # instead of scheduling a no-op (see the reference model).
+            sim._live += 1
+            self._scheduled = False
+            self._reserved_seq = seq + 1
+
+    def _arrive_next(self) -> None:
+        """Land the oldest in-flight hop at this link's dst."""
+        hop = self._inflight.popleft()
+        node = self.dst
+        tree = hop[_TREE]
+        if tree is None:
+            dest = hop[_FINAL_DEST]
+            if node == dest:
+                handler = self._endpoints[node]
+                if handler is None:
+                    raise RuntimeError(
+                        f"no endpoint registered at node {node}")
+                handler(hop[_INNER])
+            else:
+                self._forward_row[dest].enqueue(hop)
+            return
+        if node in hop[_DELIVER]:
+            handler = self._endpoints[node]
+            if handler is None:
+                raise RuntimeError(f"no endpoint registered at node {node}")
+            handler(hop[_INNER])
+        children = tree.get(node)
+        if children:
+            inner, deliver = hop[_INNER], hop[_DELIVER]
+            priority, size, msg_class = hop[_PRIORITY], hop[_SIZE], hop[_CLASS]
+            row = self._fanout_row
+            for child in children:
+                row[child].enqueue((inner, None, tree, deliver,
+                                    priority, size, msg_class))
+
+
+class ArrayNetwork(NetworkInterface):
+    """The array engine's switched interconnect (see module docstring)."""
+
+    def __init__(self, sim: BatchedSimulator, topology: Topology,
+                 bandwidth: float, hop_latency: int,
+                 drop_age: Optional[int] = 100) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if hop_latency < 1:
+            raise ValueError("hop_latency must be >= 1")
+        self.sim = sim
+        self.topology = topology
+        self.bandwidth = bandwidth
+        self.hop_latency = hop_latency
+        self.drop_age = drop_age
+        self.meter = TrafficMeter()
+        self._durations: Dict[int, int] = {}
+        self.routing = topology.build_routing()
+        n = topology.num_nodes
+        self._endpoints: List[Optional[Handler]] = [None] * n
+        self._links: List[_ArrayLink] = [
+            _ArrayLink(self, src, dst) for src, dst in topology.links()]
+        self._link_at: List[List[Optional[_ArrayLink]]] = [
+            [None] * n for _ in range(n)]
+        for link in self._links:
+            self._link_at[link.src][link.dst] = link
+        next_hop = self.routing.next_hop
+        self._first_hop: List[List[Optional[_ArrayLink]]] = [
+            [self._link_at[node][next_hop[node][dest]] if dest != node
+             else None for dest in range(n)]
+            for node in range(n)
+        ]
+        for link in self._links:
+            link._forward_row = self._first_hop[link.dst]
+            link._fanout_row = self._link_at[link.dst]
+            link._endpoints = self._endpoints
+
+    # ------------------------------------------------------------------
+    def register_endpoint(self, node: int, handler: Handler) -> None:
+        if self._endpoints[node] is not None:
+            raise ValueError(f"endpoint {node} already registered")
+        self._endpoints[node] = handler
+
+    def send(self, msg: Message) -> None:
+        """Inject a message at its source node."""
+        sim = self.sim
+        msg.inject_time = sim.now
+        self.meter.record_message(msg.msg_class)
+        dests = msg.dests
+        src = msg.src
+        if len(dests) == 1:
+            dest = dests[0]
+            if dest == src:
+                sim.post(LOCAL_DELIVERY_LATENCY,
+                         lambda m=msg: self._deliver(m, m.src))
+                return
+            self._first_hop[src][dest].enqueue(
+                (msg, dest, None, None,
+                 msg.priority, msg.size_bytes, msg.msg_class))
+            return
+        dests = tuple(dict.fromkeys(dests))  # dedupe, keep order
+        if src in dests:
+            sim.post(LOCAL_DELIVERY_LATENCY,
+                     lambda m=msg: self._deliver(m, m.src))
+        remote = [d for d in dests if d != src]
+        if not remote:
+            return
+        if len(remote) == 1:
+            dest = remote[0]
+            self._first_hop[src][dest].enqueue(
+                (msg, dest, None, None,
+                 msg.priority, msg.size_bytes, msg.msg_class))
+        else:
+            tree = self.routing.multicast_tree(src, tuple(remote))
+            deliver = frozenset(remote)
+            priority, size = msg.priority, msg.size_bytes
+            msg_class = msg.msg_class
+            children = tree.get(src)
+            if children:
+                row = self._link_at[src]
+                for child in children:
+                    row[child].enqueue((msg, None, tree, deliver,
+                                        priority, size, msg_class))
+
+    def _deliver(self, msg: Message, node: int) -> None:
+        handler = self._endpoints[node]
+        if handler is None:
+            raise RuntimeError(f"no endpoint registered at node {node}")
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Mean fraction of elapsed cycles each link spent transmitting."""
+        now = self.sim.now
+        if now == 0 or not self._links:
+            return 0.0
+        total = 0
+        for link in self._links:
+            busy = link.busy_cycles
+            overhang = link.busy_until - now
+            if overhang > 0:
+                busy -= overhang
+            total += busy
+        return total / (len(self._links) * now)

@@ -1,0 +1,32 @@
+"""System assembly for the ``array`` engine.
+
+:class:`ArraySystem` is the reference :class:`~repro.core.system.System`
+with the engine seams re-pointed: the batched kernel and the
+array-native interconnect.  Everything else — controller wiring,
+endpoint dispatch, run/drain/audit, result assembly — is inherited
+unchanged, which is what keeps the two engines trivially comparable.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import System
+from repro.engines.array.network import ArrayNetwork
+from repro.interconnect.network import NetworkInterface
+from repro.interconnect.topology import make_topology
+from repro.sim.kernel import BatchedSimulator, Simulator
+
+
+class ArraySystem(System):
+    """One simulated multiprocessor on the array engine."""
+
+    def _make_simulator(self) -> Simulator:
+        return BatchedSimulator()
+
+    def _make_network(self) -> NetworkInterface:
+        config = self.config
+        topology = make_topology(config.topology, config.num_cores,
+                                 config.torus_dims)
+        return ArrayNetwork(
+            self.sim, topology, bandwidth=config.link_bandwidth,
+            hop_latency=config.hop_latency,
+            drop_age=config.direct_request_drop_age)

@@ -1,0 +1,156 @@
+"""Automatic engine parity gate.
+
+Engines are pure performance variants: whatever engine a config names,
+the observable results must be field-for-field identical to the
+``object`` reference implementation.  The committed golden-parity suite
+pins that contract offline; this module enforces it at runtime.  The
+first time a process builds a system on a non-reference engine,
+:func:`gated_engine_name` runs a small *canary grid* — one tiny cell
+per protocol — under both that engine and the reference, and compares
+their :func:`system_fingerprint`.  On any divergence the gate emits a
+loud warning and substitutes the reference engine for the rest of the
+process; results stay correct and the warning tells you which cell to
+debug.
+
+The verdict is memoized per engine per process, so the gate costs a
+handful of 4-core/12-reference runs once, not per cell.  Set
+``REPRO_ENGINE_PARITY_GATE=off`` to skip it (CI does — it runs the
+full 54-cell golden suite under every engine instead, which subsumes
+the canaries).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import warnings
+from typing import Dict
+
+#: Set to ``off``/``0``/``no`` to trust engines without canary runs.
+PARITY_GATE_ENV = "REPRO_ENGINE_PARITY_GATE"
+
+#: One cell per protocol: tiny, but crossing every controller pair,
+#: the predictor path, best-effort drops, and the multicast fabric.
+CANARY_CELLS = (("directory", "none"), ("patch", "all"), ("tokenb", "none"))
+CANARY_WORKLOAD = "microbench"
+CANARY_CORES = 4
+CANARY_REFERENCES = 12
+CANARY_SEED = 3
+
+#: engine name -> engine to actually use (itself, or the reference).
+_VERDICTS: Dict[str, str] = {}
+
+
+def system_fingerprint(system, result) -> dict:
+    """Every parity-relevant field of one finished run.
+
+    ``events_processed`` and ``link_utilization`` are deliberately
+    excluded: an engine is *allowed* to schedule fewer kernel events
+    (e.g. eliding provably-no-op link serves) as long as everything a
+    figure table could read — cycle counts, traffic meters, drop and
+    latency statistics — comes out bit-identical.  The golden-parity
+    suite and the runtime canary gate both compare exactly this dict.
+    """
+    meter = system.network.meter
+    return {
+        "runtime_cycles": result.runtime_cycles,
+        "total_references": result.total_references,
+        "hits": result.hits,
+        "misses": result.misses,
+        "read_misses": result.read_misses,
+        "write_misses": result.write_misses,
+        "traffic_bytes_raw": dict(sorted(result.traffic_bytes_raw.items())),
+        "dropped_direct_requests": result.dropped_direct_requests,
+        "miss_latency": [result.miss_latency.count,
+                         result.miss_latency.mean,
+                         result.miss_latency.min,
+                         result.miss_latency.max],
+        # Post-drain meter state: traversal/message counts per class.
+        "link_traversals": {cls.value: count for cls, count
+                            in sorted(meter.link_traversals.items(),
+                                      key=lambda item: item[0].value)
+                            if count},
+        "messages": {cls.value: count for cls, count
+                     in sorted(meter.messages.items(),
+                               key=lambda item: item[0].value) if count},
+        "dropped_messages": meter.dropped_messages,
+        "dropped_bytes": meter.dropped_bytes,
+    }
+
+
+def _run_canary(engine: str, protocol: str, predictor: str) -> dict:
+    """Run one canary cell under ``engine`` and fingerprint it.
+
+    Builds through the engine's factory directly — never through
+    :func:`repro.engines.build_system` — so the gate cannot recurse.
+    """
+    from repro.config import SystemConfig
+    from repro.engines import get_engine
+    from repro.workloads.presets import make_workload
+
+    config = SystemConfig(num_cores=CANARY_CORES, protocol=protocol,
+                          predictor=predictor, engine=engine)
+    workload = make_workload(CANARY_WORKLOAD, num_cores=CANARY_CORES,
+                             seed=CANARY_SEED, table_blocks=64)
+    system = get_engine(engine).factory(config, workload,
+                                        CANARY_REFERENCES)
+    return system_fingerprint(system, system.run())
+
+
+def check_engine_parity(engine: str) -> Dict[str, str]:
+    """Canary fingerprints of ``engine`` vs the reference.
+
+    Returns ``{cell: field}`` for every diverging canary cell — empty
+    means parity holds.
+    """
+    divergent: Dict[str, str] = {}
+    from repro.engines import DEFAULT_ENGINE
+    for protocol, predictor in CANARY_CELLS:
+        observed = _run_canary(engine, protocol, predictor)
+        expected = _run_canary(DEFAULT_ENGINE, protocol, predictor)
+        for field, value in expected.items():
+            if observed[field] != value:
+                divergent[f"{protocol}+{predictor}"] = field
+                break
+    return divergent
+
+
+def gated_engine_name(engine: str) -> str:
+    """The engine to actually build: ``engine``, or the reference.
+
+    The reference engine always passes.  Any other engine must first
+    reproduce the canary grid; a divergence downgrades it (loudly) to
+    the reference for the rest of the process.
+    """
+    from repro.engines import DEFAULT_ENGINE, get_engine
+    get_engine(engine)  # pointed error before any canary work
+    if engine == DEFAULT_ENGINE:
+        return engine
+    verdict = _VERDICTS.get(engine)
+    if verdict is not None:
+        return verdict
+    if os.environ.get(PARITY_GATE_ENV, "").lower() in ("off", "0", "no"):
+        _VERDICTS[engine] = engine
+        return engine
+    # Memoize *before* running, so canary cells built while the check
+    # is in flight (or after a crash mid-canary) use the engine under
+    # test rather than re-entering the gate.
+    _VERDICTS[engine] = engine
+    divergent = check_engine_parity(engine)
+    if divergent:
+        detail = "; ".join(f"{cell}: {field} diverged"
+                           for cell, field in sorted(divergent.items()))
+        message = (f"engine {engine!r} failed the parity canary "
+                   f"({detail}); falling back to the "
+                   f"{DEFAULT_ENGINE!r} reference engine for this "
+                   f"process")
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
+        print(f"WARNING: {message}", file=sys.stderr)
+        _VERDICTS[engine] = DEFAULT_ENGINE
+        return DEFAULT_ENGINE
+    return engine
+
+
+def reset_gate() -> None:
+    """Forget memoized verdicts (tests use this to re-run the gate)."""
+    _VERDICTS.clear()

@@ -86,12 +86,15 @@ def execute_cell(cell: Cell) -> RunResult:
     """Run one cell in-process and return its result."""
     # Imported here (not at module top) to keep the worker-side import
     # footprint explicit and cycle-free.
-    from repro.core.system import System
+    from repro.engines import build_system
     from repro.workloads.presets import make_workload
 
     workload = make_workload(cell.workload,
                              num_cores=cell.config.num_cores,
                              seed=cell.seed, **dict(cell.workload_kwargs))
-    system = System(cell.config, workload, cell.references_per_core,
-                    check_integrity=cell.check_integrity)
+    # The engine rides in the config (and therefore in cache keys);
+    # build_system resolves it through the registry and applies the
+    # runtime parity gate to non-reference engines.
+    system = build_system(cell.config, workload, cell.references_per_core,
+                          check_integrity=cell.check_integrity)
     return system.run()

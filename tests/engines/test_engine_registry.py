@@ -1,0 +1,78 @@
+"""Engine registry: names, lookup errors, env override, config plumbing."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engines import (DEFAULT_ENGINE, ENGINE_ENV, build_system,
+                           default_engine_name, engine_names, engine_specs,
+                           get_engine, is_registered_engine)
+
+
+def test_both_engines_registered():
+    assert engine_names() == ("array", "object")
+    assert DEFAULT_ENGINE == "object"
+    assert is_registered_engine("array")
+    assert not is_registered_engine("vectorized")
+
+
+def test_specs_carry_descriptions_and_kernels():
+    for spec in engine_specs():
+        assert spec.description
+        kernel = spec.kernel()
+        assert hasattr(kernel, "post") and hasattr(kernel, "run")
+
+
+def test_get_engine_unknown_name_is_pointed():
+    with pytest.raises(ValueError) as excinfo:
+        get_engine("vectorized")
+    message = str(excinfo.value)
+    assert "unknown engine 'vectorized'" in message
+    # The error must list every valid choice.
+    for name in engine_names():
+        assert name in message
+
+
+def test_config_rejects_unknown_engine_with_choices():
+    with pytest.raises(ValueError) as excinfo:
+        SystemConfig(num_cores=4, engine="vectorized")
+    message = str(excinfo.value)
+    assert "unknown engine 'vectorized'" in message
+    for name in engine_names():
+        assert name in message
+
+
+def test_default_engine_resolves_env(monkeypatch):
+    assert default_engine_name() == DEFAULT_ENGINE
+    monkeypatch.setenv(ENGINE_ENV, "array")
+    assert default_engine_name() == "array"
+    assert SystemConfig(num_cores=4).engine == "array"
+
+
+def test_env_override_with_unknown_engine_is_pointed(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV, "vectorized")
+    with pytest.raises(ValueError) as excinfo:
+        default_engine_name()
+    message = str(excinfo.value)
+    assert ENGINE_ENV in message and "vectorized" in message
+    for name in engine_names():
+        assert name in message
+
+
+def test_explicit_config_engine_beats_env(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV, "array")
+    assert SystemConfig(num_cores=4, engine="object").engine == "object"
+
+
+@pytest.mark.parametrize("engine", engine_names())
+def test_build_system_routes_by_config_engine(engine, monkeypatch):
+    from repro.core.system import System
+    from repro.engines.array.system import ArraySystem
+    from repro.workloads import make_workload
+
+    monkeypatch.setenv("REPRO_ENGINE_PARITY_GATE", "off")
+    config = SystemConfig(num_cores=4, engine=engine)
+    workload = make_workload("microbench", num_cores=4, seed=1,
+                             table_blocks=64)
+    system = build_system(config, workload, references_per_core=5)
+    expected = {"object": System, "array": ArraySystem}[engine]
+    assert type(system) is expected

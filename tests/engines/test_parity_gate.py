@@ -1,0 +1,84 @@
+"""Runtime parity gate: clean engines pass, divergent engines fall back."""
+
+import warnings
+
+import pytest
+
+import repro.engines.parity as parity
+from repro.engines import DEFAULT_ENGINE
+from repro.engines.parity import (check_engine_parity, gated_engine_name,
+                                  reset_gate, system_fingerprint)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_gate():
+    reset_gate()
+    yield
+    reset_gate()
+
+
+def test_reference_engine_always_passes_without_canaries(monkeypatch):
+    def boom(*args, **kwargs):  # pragma: no cover - must not run
+        raise AssertionError("reference engine must not be canaried")
+
+    monkeypatch.setattr(parity, "check_engine_parity", boom)
+    assert gated_engine_name(DEFAULT_ENGINE) == DEFAULT_ENGINE
+
+
+def test_gate_rejects_unknown_engine_pointedly():
+    with pytest.raises(ValueError, match="unknown engine 'vectorized'"):
+        gated_engine_name("vectorized")
+
+
+def test_array_engine_passes_the_canary_grid():
+    assert check_engine_parity("array") == {}
+    assert gated_engine_name("array") == "array"
+
+
+def test_verdict_is_memoized(monkeypatch):
+    assert gated_engine_name("array") == "array"
+    calls = []
+    monkeypatch.setattr(parity, "check_engine_parity",
+                        lambda engine: calls.append(engine) or {})
+    assert gated_engine_name("array") == "array"
+    assert calls == []  # second lookup hit the memo
+
+
+def test_divergent_engine_falls_back_loudly(monkeypatch):
+    monkeypatch.setattr(parity, "check_engine_parity",
+                        lambda engine: {"patch+all": "runtime_cycles"})
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert gated_engine_name("array") == DEFAULT_ENGINE
+    assert any("failed the parity canary" in str(w.message)
+               and "runtime_cycles" in str(w.message) for w in caught)
+    # The downgrade is memoized too: no re-check, still the reference.
+    monkeypatch.setattr(parity, "check_engine_parity",
+                        lambda engine: {})
+    assert gated_engine_name("array") == DEFAULT_ENGINE
+
+
+def test_gate_env_off_skips_canaries(monkeypatch):
+    monkeypatch.setenv(parity.PARITY_GATE_ENV, "off")
+
+    def boom(engine):  # pragma: no cover - must not run
+        raise AssertionError("gate disabled; canaries must not run")
+
+    monkeypatch.setattr(parity, "check_engine_parity", boom)
+    assert gated_engine_name("array") == "array"
+
+
+def test_fingerprint_excludes_event_counts():
+    """Engines may elide no-op events; the fingerprint must not care."""
+    from repro.config import SystemConfig
+    from repro.core.system import System
+    from repro.workloads import make_workload
+
+    config = SystemConfig(num_cores=4)
+    workload = make_workload("microbench", num_cores=4, seed=1,
+                             table_blocks=64)
+    system = System(config, workload, references_per_core=5)
+    fingerprint = system_fingerprint(system, system.run())
+    assert "events_processed" not in fingerprint
+    assert "link_utilization" not in fingerprint
+    assert fingerprint["runtime_cycles"] > 0

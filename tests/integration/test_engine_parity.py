@@ -1,18 +1,22 @@
-"""Golden-parity suite for the optimized simulation engine.
+"""Golden-parity suite for every registered simulation engine.
 
-The hot-path overhaul (precomputed routing tables, flat link
-scheduling, kernel fast path) is a pure performance refactor: every
-protocol's cycle counts, traffic meters, and drop counts must come out
-*bit-identical* to the pre-refactor engine.  This suite pins that
-contract: ``golden/engine_parity.json`` holds the full observable
-result of every (workload x topology x protocol) cell of the PR 2
-scenario matrix, captured from the engine as it stood before the
-refactor, and every cell is re-run and compared field-for-field.
+Engines (``repro.engines``) are pure performance variants: whatever
+engine a config names, every protocol's cycle counts, traffic meters,
+and drop counts must come out *bit-identical* to the committed goldens.
+``golden/engine_parity.json`` holds the full observable result of every
+(workload x topology x protocol) cell of the PR 2 scenario matrix, and
+this suite re-runs each cell under **each registered engine** — the
+reference ``object`` engine and the struct-of-arrays ``array`` engine
+alike — comparing field-for-field via the same
+:func:`~repro.engines.parity.system_fingerprint` the runtime parity
+gate uses.
 
 Regenerate the goldens (only when an *intentional* behaviour change
 lands, never to paper over drift) with:
 
     PYTHONPATH=src python tests/integration/test_engine_parity.py --regen
+
+Regeneration always captures the reference engine.
 """
 
 import json
@@ -21,7 +25,8 @@ import os
 import pytest
 
 from repro.config import SystemConfig
-from repro.core.system import System
+from repro.engines import DEFAULT_ENGINE, engine_names, get_engine
+from repro.engines.parity import system_fingerprint
 from repro.workloads import make_workload
 from repro.workloads.patterns import PATTERN_NAMES
 
@@ -41,51 +46,30 @@ CELLS = [(workload, topology, protocol, predictor)
          for topology in TOPOLOGIES
          for protocol, predictor in PROTOCOLS]
 
+ENGINES = engine_names()
+
 
 def cell_key(workload, topology, protocol, predictor):
     return f"{workload}|{topology}|{protocol}+{predictor}"
 
 
-def run_cell(workload, topology, protocol, predictor):
-    """Run one scenario cell and capture every parity-relevant field.
+def run_cell(workload, topology, protocol, predictor,
+             engine=DEFAULT_ENGINE):
+    """Run one scenario cell under ``engine`` and fingerprint it.
 
-    ``events_processed`` and ``link_utilization`` are deliberately
-    excluded: the refactor is *allowed* to schedule fewer kernel events
-    and the utilization accounting fix intentionally changes that
-    figure.  Everything a figure table could ever read is captured.
+    Builds through the registry factory directly (not the runtime
+    parity gate) — this suite *is* the offline parity check, so a
+    divergent engine must fail here, not silently fall back.
     """
     config = SystemConfig(num_cores=NUM_CORES, protocol=protocol,
-                          predictor=predictor, topology=topology)
+                          predictor=predictor, topology=topology,
+                          engine=engine)
     kwargs = {"table_blocks": 64} if workload == "microbench" else {}
     generator = make_workload(workload, num_cores=NUM_CORES, seed=SEED,
                               **kwargs)
-    system = System(config, generator, references_per_core=REFERENCES)
-    result = system.run()
-    meter = system.network.meter
-    return {
-        "runtime_cycles": result.runtime_cycles,
-        "total_references": result.total_references,
-        "hits": result.hits,
-        "misses": result.misses,
-        "read_misses": result.read_misses,
-        "write_misses": result.write_misses,
-        "traffic_bytes_raw": dict(sorted(result.traffic_bytes_raw.items())),
-        "dropped_direct_requests": result.dropped_direct_requests,
-        "miss_latency": [result.miss_latency.count,
-                         result.miss_latency.mean,
-                         result.miss_latency.min,
-                         result.miss_latency.max],
-        # Post-drain meter state: traversal/message counts per class.
-        "link_traversals": {cls.value: count for cls, count
-                            in sorted(meter.link_traversals.items(),
-                                      key=lambda item: item[0].value)
-                            if count},
-        "messages": {cls.value: count for cls, count
-                     in sorted(meter.messages.items(),
-                               key=lambda item: item[0].value) if count},
-        "dropped_messages": meter.dropped_messages,
-        "dropped_bytes": meter.dropped_bytes,
-    }
+    system = get_engine(engine).factory(config, generator,
+                                        references_per_core=REFERENCES)
+    return system_fingerprint(system, system.run())
 
 
 def load_goldens():
@@ -108,17 +92,20 @@ def test_golden_file_covers_every_cell():
     assert set(goldens["cells"]) == expected
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("workload,topology,protocol,predictor", CELLS,
                          ids=[cell_key(*cell) for cell in CELLS])
 def test_engine_matches_golden(goldens, workload, topology, protocol,
-                               predictor):
+                               predictor, engine):
     key = cell_key(workload, topology, protocol, predictor)
-    observed = run_cell(workload, topology, protocol, predictor)
+    observed = run_cell(workload, topology, protocol, predictor,
+                        engine=engine)
     expected = goldens["cells"][key]
     # Field-by-field so a mismatch names the field, not a wall of JSON.
     for name, value in expected.items():
         assert observed[name] == value, (
-            f"{key}: {name} diverged from the pre-refactor engine")
+            f"{key}: {name} diverged from the goldens under the "
+            f"{engine!r} engine")
 
 
 def regenerate():  # pragma: no cover - maintenance entry point
@@ -126,7 +113,7 @@ def regenerate():  # pragma: no cover - maintenance entry point
     cells = {}
     for cell in CELLS:
         key = cell_key(*cell)
-        cells[key] = run_cell(*cell)
+        cells[key] = run_cell(*cell, engine=DEFAULT_ENGINE)
         print(f"  {key}: runtime={cells[key]['runtime_cycles']}")
     payload = {
         "schema": 1,

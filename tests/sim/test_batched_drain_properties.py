@@ -1,0 +1,106 @@
+"""Property test: batched draining preserves exact dispatch order.
+
+The ``array`` engine's :class:`BatchedSimulator` dispatches all events
+sharing a timestamp in one pass over a sorted bucket instead of
+popping them one at a time off a heap.  The contract is that this is
+*unobservable*: for any program of schedules, posts, priorities,
+cancellations, reserved sequence numbers, and callback-time follow-ups
+(including delay-0 posts and reserved slots materializing into the
+bucket being drained), the (time, priority, seq) tie-break order — and
+therefore the dispatch order — is identical to the reference heap
+:class:`Simulator`'s.
+
+Hypothesis drives randomized programs through both kernels and
+compares the full dispatch traces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import BatchedSimulator, Simulator
+
+# A follow-up scheduled from inside a callback: (delay, priority).
+# Delay 0 lands in the bucket currently being drained.
+_followup = st.tuples(st.integers(0, 3), st.integers(0, 2))
+
+# One top-level operation:
+#   kind        — how the event enters the queue
+#   delay       — cycles from t=0 (small, to force timestamp collisions)
+#   priority    — tie-break class
+#   followups   — posts issued from the callback when it fires
+#   materialize — claim a reserved seq up front and post_reserved it at
+#                 ``now`` from inside the callback: the claimed seq is
+#                 older than every same-time entry drawn later, so it
+#                 lands mid-drain *behind* the drain cursor (regression
+#                 cover for the cursor-shift double-dispatch bug)
+_op = st.fixed_dictionaries({
+    "kind": st.sampled_from(["schedule", "post", "reserved", "cancelled"]),
+    "delay": st.integers(0, 6),
+    "priority": st.integers(0, 2),
+    "followups": st.lists(_followup, max_size=3),
+    "materialize": st.booleans(),
+})
+
+_program = st.lists(_op, min_size=1, max_size=25)
+
+
+def _run_program(kernel_cls, program):
+    """Replay ``program`` on a fresh kernel; return the dispatch trace.
+
+    Reserved ops claim their sequence number in program order (so the
+    two kernels draw identical seqs) but only materialize via
+    ``post_reserved`` after every other op is queued — out of draw
+    order, the way the link scheduler uses them.
+    """
+    sim = kernel_cls()
+    trace = []
+    counter = [0]
+
+    def make_callback(label, followups, reserved_slot=None):
+        def fire():
+            trace.append((sim.now, label))
+            if reserved_slot is not None:
+                sim.post_reserved(sim.now, reserved_slot,
+                                  make_callback(f"{label}.r", ()))
+            for delay, priority in followups:
+                child = counter[0]
+                counter[0] += 1
+                sim.post(delay,
+                         make_callback(f"{label}.f{child}", ()),
+                         priority=priority)
+        return fire
+
+    deferred = []
+    for index, op in enumerate(program):
+        label = f"op{index}"
+        reserved_slot = sim.reserve_seq() if op["materialize"] else None
+        callback = make_callback(label, op["followups"], reserved_slot)
+        if op["kind"] == "schedule":
+            sim.schedule(op["delay"], callback, priority=op["priority"])
+        elif op["kind"] == "post":
+            sim.post(op["delay"], callback, priority=op["priority"])
+        elif op["kind"] == "reserved":
+            deferred.append((sim.reserve_seq(), op, callback))
+        else:  # cancelled: scheduled, then cancelled before the run
+            sim.schedule(op["delay"], callback,
+                         priority=op["priority"]).cancel()
+    for seq, op, callback in deferred:
+        sim.post_reserved(op["delay"], seq, callback,
+                          priority=op["priority"])
+    sim.run()
+    return trace, sim.events_processed, sim.pending()
+
+
+@settings(max_examples=200, deadline=None)
+@given(program=_program)
+def test_batched_drain_matches_heap_dispatch_order(program):
+    heap_trace = _run_program(Simulator, program)
+    batched_trace = _run_program(BatchedSimulator, program)
+    assert batched_trace == heap_trace
+
+
+@settings(max_examples=50, deadline=None)
+@given(program=_program)
+def test_batched_drain_is_self_deterministic(program):
+    assert (_run_program(BatchedSimulator, program)
+            == _run_program(BatchedSimulator, program))

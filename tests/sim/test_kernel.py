@@ -1,12 +1,23 @@
-"""Tests for the discrete-event kernel."""
+"""Tests for the discrete-event kernels.
+
+Parametrized over both registered kernels — the reference heap
+:class:`Simulator` and the array engine's :class:`BatchedSimulator` —
+because the batched kernel is a drop-in replacement: every ordering,
+cancellation, and accounting contract here must hold for both.
+"""
 
 import pytest
 
-from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.kernel import BatchedSimulator, SimulationError, Simulator
 
 
-def test_runs_events_in_time_order():
-    sim = Simulator()
+@pytest.fixture(params=[Simulator, BatchedSimulator],
+                ids=["heap", "batched"])
+def sim(request):
+    return request.param()
+
+
+def test_runs_events_in_time_order(sim):
     order = []
     sim.schedule(10, lambda: order.append("late"))
     sim.schedule(1, lambda: order.append("early"))
@@ -15,8 +26,7 @@ def test_runs_events_in_time_order():
     assert order == ["early", "middle", "late"]
 
 
-def test_ties_break_by_insertion_order():
-    sim = Simulator()
+def test_ties_break_by_insertion_order(sim):
     order = []
     for name in "abc":
         sim.schedule(3, lambda n=name: order.append(n))
@@ -24,8 +34,7 @@ def test_ties_break_by_insertion_order():
     assert order == ["a", "b", "c"]
 
 
-def test_priority_breaks_ties_before_sequence():
-    sim = Simulator()
+def test_priority_breaks_ties_before_sequence(sim):
     order = []
     sim.schedule(3, lambda: order.append("low"), priority=1)
     sim.schedule(3, lambda: order.append("high"), priority=0)
@@ -33,8 +42,7 @@ def test_priority_breaks_ties_before_sequence():
     assert order == ["high", "low"]
 
 
-def test_now_advances_to_event_time():
-    sim = Simulator()
+def test_now_advances_to_event_time(sim):
     seen = []
     sim.schedule(42, lambda: seen.append(sim.now))
     sim.run()
@@ -42,8 +50,7 @@ def test_now_advances_to_event_time():
     assert sim.now == 42
 
 
-def test_nested_scheduling_from_callbacks():
-    sim = Simulator()
+def test_nested_scheduling_from_callbacks(sim):
     order = []
 
     def first():
@@ -55,8 +62,7 @@ def test_nested_scheduling_from_callbacks():
     assert order == [("first", 2), ("second", 7)]
 
 
-def test_cancelled_events_do_not_fire():
-    sim = Simulator()
+def test_cancelled_events_do_not_fire(sim):
     fired = []
     event = sim.schedule(5, lambda: fired.append(True))
     event.cancel()
@@ -64,8 +70,7 @@ def test_cancelled_events_do_not_fire():
     assert fired == []
 
 
-def test_run_until_stops_at_horizon():
-    sim = Simulator()
+def test_run_until_stops_at_horizon(sim):
     fired = []
     sim.schedule(5, lambda: fired.append(5))
     sim.schedule(100, lambda: fired.append(100))
@@ -76,8 +81,7 @@ def test_run_until_stops_at_horizon():
     assert fired == [5, 100]
 
 
-def test_stop_halts_processing():
-    sim = Simulator()
+def test_stop_halts_processing(sim):
     fired = []
     sim.schedule(1, lambda: (fired.append(1), sim.stop()))
     sim.schedule(2, lambda: fired.append(2))
@@ -87,23 +91,19 @@ def test_stop_halts_processing():
     assert fired == [1, 2]
 
 
-def test_negative_delay_rejected():
-    sim = Simulator()
+def test_negative_delay_rejected(sim):
     with pytest.raises(SimulationError):
         sim.schedule(-1, lambda: None)
 
 
-def test_schedule_at_absolute_time():
-    sim = Simulator()
+def test_schedule_at_absolute_time(sim):
     seen = []
     sim.schedule(10, lambda: sim.schedule_at(30, lambda: seen.append(sim.now)))
     sim.run()
     assert seen == [30]
 
 
-def test_schedule_at_in_past_rejected():
-    sim = Simulator()
-
+def test_schedule_at_in_past_rejected(sim):
     def callback():
         with pytest.raises(SimulationError):
             sim.schedule_at(3, lambda: None)
@@ -112,9 +112,7 @@ def test_schedule_at_in_past_rejected():
     sim.run()
 
 
-def test_max_events_guards_against_livelock():
-    sim = Simulator()
-
+def test_max_events_guards_against_livelock(sim):
     def loop():
         sim.schedule(1, loop)
 
@@ -123,8 +121,7 @@ def test_max_events_guards_against_livelock():
         sim.run(max_events=100)
 
 
-def test_pending_counts_live_events():
-    sim = Simulator()
+def test_pending_counts_live_events(sim):
     keep = sim.schedule(5, lambda: None)
     cancelled = sim.schedule(6, lambda: None)
     cancelled.cancel()
@@ -132,8 +129,7 @@ def test_pending_counts_live_events():
     del keep
 
 
-def test_pending_tracks_schedule_cancel_and_run():
-    sim = Simulator()
+def test_pending_tracks_schedule_cancel_and_run(sim):
     events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
     assert sim.pending() == 10
     events[0].cancel()
@@ -145,8 +141,7 @@ def test_pending_tracks_schedule_cancel_and_run():
     assert sim.pending() == 0
 
 
-def test_cancel_after_fire_is_noop():
-    sim = Simulator()
+def test_cancel_after_fire_is_noop(sim):
     event = sim.schedule(1, lambda: None)
     sim.schedule(2, lambda: None)
     sim.run(until=1)
@@ -157,6 +152,7 @@ def test_cancel_after_fire_is_noop():
 
 
 def test_cancelled_event_compaction_shrinks_queue():
+    # Heap-kernel specific: inspects the flat _queue representation.
     sim = Simulator()
     threshold = Simulator.COMPACTION_MIN_CANCELLED
     keep = [sim.schedule(10_000 + i, lambda: None) for i in range(8)]
@@ -175,8 +171,27 @@ def test_cancelled_event_compaction_shrinks_queue():
     assert sim.pending() == 0
 
 
-def test_compaction_preserves_event_order():
-    sim = Simulator()
+def test_batched_compaction_drops_cancelled_bucket_entries():
+    # Batched-kernel counterpart: compaction empties non-draining buckets.
+    sim = BatchedSimulator()
+    threshold = BatchedSimulator.COMPACTION_MIN_CANCELLED
+    keep = [sim.schedule(10_000 + i, lambda: None) for i in range(8)]
+    timers = [sim.schedule(i + 1, lambda: None)
+              for i in range(4 * threshold)]
+    for timer in timers:
+        timer.cancel()
+    assert sum(len(bucket) for bucket in sim._buckets.values()) \
+        <= len(keep) + threshold
+    assert sim.pending() == len(keep)
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    assert sim.pending() == 0
+    del keep
+
+
+def test_compaction_preserves_event_order(sim):
     sim.COMPACTION_MIN_CANCELLED = 4
     order = []
     for name, delay in (("a", 3), ("b", 7), ("c", 11)):
@@ -189,16 +204,14 @@ def test_compaction_preserves_event_order():
     assert order == ["a", "b", "c"]
 
 
-def test_events_processed_counter():
-    sim = Simulator()
+def test_events_processed_counter(sim):
     for _ in range(7):
         sim.schedule(1, lambda: None)
     sim.run()
     assert sim.events_processed == 7
 
 
-def test_zero_delay_event_runs_at_current_time():
-    sim = Simulator()
+def test_zero_delay_event_runs_at_current_time(sim):
     times = []
 
     def outer():
@@ -213,10 +226,9 @@ def test_zero_delay_event_runs_at_current_time():
 # Fast-path scheduling (post / reserve_seq)
 # ---------------------------------------------------------------------------
 
-def test_post_orders_with_schedule_by_shared_sequence():
+def test_post_orders_with_schedule_by_shared_sequence(sim):
     """post() and schedule() draw from one sequence counter, so mixing
     them never changes tie-break order."""
-    sim = Simulator()
     order = []
     sim.schedule(3, lambda: order.append("a"))
     sim.post(3, lambda: order.append("b"))
@@ -225,8 +237,7 @@ def test_post_orders_with_schedule_by_shared_sequence():
     assert order == ["a", "b", "c"]
 
 
-def test_post_respects_priority():
-    sim = Simulator()
+def test_post_respects_priority(sim):
     order = []
     sim.post(3, lambda: order.append("low"), priority=1)
     sim.post(3, lambda: order.append("high"), priority=0)
@@ -234,14 +245,12 @@ def test_post_respects_priority():
     assert order == ["high", "low"]
 
 
-def test_post_negative_delay_rejected():
-    sim = Simulator()
+def test_post_negative_delay_rejected(sim):
     with pytest.raises(SimulationError):
         sim.post(-1, lambda: None)
 
 
-def test_post_counts_as_live_and_processed():
-    sim = Simulator()
+def test_post_counts_as_live_and_processed(sim):
     sim.post(1, lambda: None)
     sim.post(2, lambda: None)
     assert sim.pending() == 2
@@ -250,10 +259,9 @@ def test_post_counts_as_live_and_processed():
     assert sim.events_processed == 2
 
 
-def test_reserved_seq_materializes_in_original_tie_break_slot():
+def test_reserved_seq_materializes_in_original_tie_break_slot(sim):
     """An event posted under a reserved sequence number beats same-time
     events whose sequence numbers were drawn later."""
-    sim = Simulator()
     order = []
     reserved = sim.reserve_seq()
     sim.post(5, lambda: order.append("later-seq"))
@@ -262,8 +270,7 @@ def test_reserved_seq_materializes_in_original_tie_break_slot():
     assert order == ["reserved", "later-seq"]
 
 
-def test_reserved_seq_gap_is_harmless_when_unused():
-    sim = Simulator()
+def test_reserved_seq_gap_is_harmless_when_unused(sim):
     order = []
     sim.reserve_seq()  # claimed, never materialized
     sim.post(1, lambda: order.append("x"))
@@ -272,16 +279,32 @@ def test_reserved_seq_gap_is_harmless_when_unused():
     assert sim.pending() == 0
 
 
-def test_post_reserved_in_past_rejected():
-    sim = Simulator()
+def test_post_reserved_in_past_rejected(sim):
     sim.post(10, lambda: None)
     sim.run()
     with pytest.raises(SimulationError):
         sim.post_reserved(5, sim.reserve_seq(), lambda: None)
 
 
-def test_mixed_post_and_cancelled_events_compact_cleanly():
-    sim = Simulator()
+def test_reserved_seq_materializing_mid_drain_runs_in_same_pass(sim):
+    """A reserved slot posted *at the draining timestamp* from inside a
+    callback still lands in its original tie-break position."""
+    order = []
+    reserved = sim.reserve_seq()
+
+    def first():
+        order.append("first")
+        # Materializes at now, with a seq older than "last"'s: it must
+        # run before "last" even though it was posted mid-drain.
+        sim.post_reserved(sim.now, reserved, lambda: order.append("reserved"))
+
+    sim.post(5, first)
+    sim.post(5, lambda: order.append("last"))
+    sim.run()
+    assert order == ["first", "reserved", "last"]
+
+
+def test_mixed_post_and_cancelled_events_compact_cleanly(sim):
     sim.COMPACTION_MIN_CANCELLED = 4
     fired = []
     for i in range(8):
@@ -294,11 +317,11 @@ def test_mixed_post_and_cancelled_events_compact_cleanly():
     assert fired == list(range(8))
 
 
-def test_mid_run_compaction_keeps_live_heap():
-    """Regression: _compact() fired from a callback must mutate the heap
-    in place — run() holds a local alias to the heap list, and a rebind
-    would silently drop everything scheduled after the compaction."""
-    sim = Simulator()
+def test_mid_run_compaction_keeps_live_queue(sim):
+    """Regression: _compact() fired from a callback must mutate the
+    pending-event storage in place — run() holds local aliases, and a
+    rebind (or an edit to the bucket being drained) would silently drop
+    or reorder everything scheduled after the compaction."""
     sim.COMPACTION_MIN_CANCELLED = 4
     fired = []
     timers = [sim.schedule(50, lambda: fired.append("timer"))
