@@ -79,6 +79,11 @@ class StudyResult:
     #: Name of the execution backend the session resolved for this
     #: study (``None`` for results built outside a Session).
     executor: Optional[str] = None
+    #: Aggregated observability block when the study ran with
+    #: ``REPRO_OBS``/``--obs``: the per-cell telemetry snapshots merged
+    #: order-independently plus the session-side spans (see
+    #: :func:`repro.obs.study_telemetry`).  ``None`` when off.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property

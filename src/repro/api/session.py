@@ -45,6 +45,7 @@ from repro.exec import (NO_CACHE_ENV, CellExecutionError, Executor,
                         ManifestStore, ParallelRunner, ResultCache,
                         StudyManifest, code_version, get_default_runner)
 from repro.exec.cells import Cell
+from repro.obs import telemetry as _telemetry
 
 
 class Session:
@@ -169,7 +170,12 @@ class Session:
         cells = [cell for _, cells in groups for cell in cells]
         executor = self.runner.resolve_executor(spec.executor)
         before = self.cache_stats()
-        runs = self._run_tracked(spec, cells, executor, resume=resume)
+        # Session-side telemetry (cache probes, scheduling) collects in
+        # its own registry; cell-side registries live in the workers and
+        # ride back on each RunResult.
+        session_telemetry = _telemetry.for_process()
+        with _telemetry.activate(session_telemetry):
+            runs = self._run_tracked(spec, cells, executor, resume=resume)
         after = self.cache_stats()
         delta = (None if before is None
                  else {key: after[key] - before[key] for key in after})
@@ -178,12 +184,16 @@ class Session:
         for key, group_cells in groups:
             runs_by_key[key] = runs[cursor:cursor + len(group_cells)]
             cursor += len(group_cells)
+        telemetry = _telemetry.study_telemetry(
+            [run.telemetry for run in runs],
+            session=session_telemetry.snapshot())
         return StudyResult(spec=spec,
                            keys=tuple(key for key, _ in groups),
                            runs_by_key=runs_by_key,
                            cache_delta=delta,
                            jobs=self.jobs,
-                           executor=executor.name)
+                           executor=executor.name,
+                           telemetry=telemetry)
 
     def advance(self, spec: StudySpec, limit: Optional[int] = None,
                 validate: bool = True) -> StudyManifest:
@@ -217,8 +227,7 @@ class Session:
         try:
             runs = self.runner.run_cells(
                 cells, executor=executor,
-                on_result=lambda index, _result, _fresh:
-                    manifest.mark(index, "done"))
+                on_result=manifest.record_result)
         except CellExecutionError as exc:
             self._record_failure(manifest, cells, exc)
             store.save(manifest)
@@ -234,8 +243,7 @@ class Session:
         try:
             self.runner.run_cells(
                 cells, executor=executor, limit=limit,
-                on_result=lambda index, _result, _fresh:
-                    manifest.mark(index, "done"))
+                on_result=manifest.record_result)
         except CellExecutionError as exc:
             self._record_failure(manifest, cells, exc)
             store.save(manifest)

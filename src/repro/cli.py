@@ -30,7 +30,13 @@ regenerates the paper's experiments from the shell:
     repro study run examples/specs/fig4_smoke.json --max-cells 8
     repro study run examples/specs/fig4_smoke.json --resume
     repro study status examples/specs/fig4_smoke.json
+    repro study run examples/specs/fig4_smoke.json --obs
+    repro study run examples/specs/fig4_smoke.json --obs --timeline traces
+    repro run --workload oltp --obs --timeline run.json
+    repro study run examples/specs/fig4_smoke.json --profile prof
+    repro obs top prof --limit 10 --sort cumulative
     repro bench --quick --jobs 4
+    repro bench --obs --quick
     repro bench --perf --check
     repro list
     repro list-scenarios --kind pattern
@@ -59,7 +65,14 @@ regenerates the whole figure suite with machine-readable timings, and
 ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).  ``repro study run``
 additionally takes ``--resume`` / ``--max-cells`` for resumable and
 chunked grids, with ``repro study status`` reporting recorded
-progress — docs/EXECUTION.md is the operations guide.
+progress — docs/EXECUTION.md is the operations guide.  The run, study
+run, and bench subcommands accept the observability flags ``--obs``
+(run telemetry: counters and phase spans, surfaced in study status
+and the bench report), ``--timeline PATH`` (per-cell Chrome
+trace-event JSON, viewable in Perfetto), and ``--profile DIR``
+(per-cell cProfile dumps); render the merged hotspot table with
+``repro obs top DIR``, and set ``REPRO_LOG=level`` for structured
+logging.  docs/OBSERVABILITY.md is the guide.
 """
 
 from __future__ import annotations
@@ -86,6 +99,9 @@ from repro.exec import (NO_CACHE_ENV, CellExecutionError, ParallelRunner,
                         ResultCache, code_version, executor_names,
                         set_default_runner)
 from repro.interconnect.topology import TOPOLOGIES, topology_names
+from repro.obs import (OBS_ENV, PROFILE_ENV, TIMELINE_ENV,
+                       configure_logging, render_top)
+from repro.obs.profiling import SORT_KEYS
 from repro.workloads.patterns import PATTERN_NAMES
 from repro.workloads.presets import WORKLOAD_NAMES
 from repro.workloads.registry import WORKLOAD_KINDS, workload_specs
@@ -167,6 +183,21 @@ def _add_exec_options(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--obs", action="store_true",
+                        help="collect run telemetry (counters, phase "
+                             "spans); equivalent to REPRO_OBS=1 "
+                             "(see docs/OBSERVABILITY.md)")
+    parser.add_argument("--timeline", default=None, metavar="PATH",
+                        help="write per-cell Chrome trace-event JSON "
+                             "(open in Perfetto); a PATH ending in "
+                             ".json is the exact file, anything else "
+                             "a directory collecting one file per cell")
+    parser.add_argument("--profile", default=None, metavar="DIR",
+                        help="capture per-cell cProfile stats into DIR "
+                             "(render with: repro obs top DIR)")
+
+
 def _add_engine_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", default=None,
                         choices=engine_names(),
@@ -214,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run, refs_default=None)
     _add_exec_options(run)
     _add_engine_option(run)
+    _add_obs_options(run)
     run.add_argument("--protocol", default="patch", choices=PROTOCOLS)
     run.add_argument("--predictor", default="all", choices=PREDICTORS)
     run.add_argument("--topology", default="torus",
@@ -277,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the full figure suite with timings")
     _add_exec_options(bench)
     _add_engine_option(bench)
+    _add_obs_options(bench)
     bench.add_argument("--quick", action="store_true",
                        help="CI smoke-test scale (smaller grids, 1 seed)")
     bench.add_argument("--results-dir",
@@ -476,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("spec", metavar="SPEC.json")
     _add_exec_options(srun)
     _add_engine_option(srun)
+    _add_obs_options(srun)
     srun.add_argument("--resume", action="store_true",
                       help="continue the study's recorded manifest: cells "
                            "already done load from the cache, only the "
@@ -491,6 +525,19 @@ def build_parser() -> argparse.ArgumentParser:
                        "failed cells) without running anything")
     sstatus.add_argument("spec", metavar="SPEC.json")
     _add_exec_options(sstatus)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="observability utilities (docs/OBSERVABILITY.md)")
+    osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    otop = osub.add_parser(
+        "top", help="merged hotspot table from per-cell --profile dumps")
+    otop.add_argument("dir", metavar="DIR",
+                      help="directory of .pstats files written by "
+                           "--profile DIR (or REPRO_PROFILE_DIR)")
+    otop.add_argument("--limit", type=_positive_int, default=15,
+                      help="rows to print (default 15)")
+    otop.add_argument("--sort", default="cumulative", choices=SORT_KEYS,
+                      help="pstats sort key (default cumulative)")
 
     sub.add_parser("list", help="list workloads and configurations")
     sub.add_parser("engines",
@@ -741,12 +788,15 @@ def _cmd_study_run(args) -> int:
         # stop.  The table only renders once the study completes.
         manifest = session.advance(spec, limit=args.max_cells,
                                    validate=False)
+        # Progress chatter goes to stderr so stdout stays
+        # machine-parseable; only the summary line is the result here.
         print(f"[exec] executor={session.executor_name(spec)} "
-              f"workers={session.jobs}")
+              f"workers={session.jobs}", file=sys.stderr)
         print(f"study {spec.name}: {manifest.summary()}")
         if not manifest.complete:
             print(f"(continue with: repro study run {args.spec} "
-                  f"--resume or more --max-cells chunks)")
+                  f"--resume or more --max-cells chunks)",
+                  file=sys.stderr)
         return 0
     result = session.run(spec, validate=False,  # load() validated
                          resume=args.resume)
@@ -761,11 +811,14 @@ def _cmd_study_run(args) -> int:
     print(format_table(f"Study {spec.name}: {_study_shape(spec)}",
                        axis_names + ["runtime", "+-95%", "bytes/miss"],
                        rows))
-    print(f"[exec] executor={result.executor} workers={result.jobs}")
+    # stdout carries exactly the result table; execution chatter
+    # ([exec]/[cache]) goes to stderr so pipelines can diff/parse it.
+    print(f"[exec] executor={result.executor} workers={result.jobs}",
+          file=sys.stderr)
     delta = result.cache_delta
     if delta is not None:
         print(f"[cache] {delta['hits']} hits, {delta['misses']} misses, "
-              f"{delta['stores']} stores")
+              f"{delta['stores']} stores", file=sys.stderr)
     return 0
 
 
@@ -786,6 +839,24 @@ def _cmd_study_status(args) -> int:
     for cell in manifest.failed_cells():
         where = "/".join(cell.key) if cell.key else spec.name
         print(f"  failed: {where} seed={cell.seed}: {cell.error}")
+    for cell in manifest.cells:
+        # Per-cell timings, recorded by every run (cache hits show as
+        # `cached`); the [phase] breakdown only exists under --obs.
+        if cell.state != "done" or cell.wall_time is None:
+            continue
+        where = "/".join(cell.key) if cell.key else spec.name
+        if cell.cached:
+            timing = "cached"
+        else:
+            timing = f"{cell.wall_time:.3f}s"
+            if cell.events_per_second:
+                timing += f", {cell.events_per_second:,.0f} events/s"
+        line = f"  done: {where} seed={cell.seed}: {timing}"
+        if cell.phases:
+            line += " [" + ", ".join(
+                f"{name} {seconds:.3f}s" for name, seconds
+                in sorted(cell.phases.items())) + "]"
+        print(line)
     if manifest.code_version != code_version():
         print("note: progress was recorded under a different code "
               "version; its done cells will miss the cache and re-run")
@@ -1033,6 +1104,30 @@ def cmd_verify(args) -> int:
         return 2
 
 
+# ---------------------------------------------------------------------------
+# `repro obs` subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_obs_top(args) -> int:
+    print(render_top(args.dir, limit=args.limit, sort=args.sort))
+    return 0
+
+
+_OBS_COMMANDS = {
+    "top": _cmd_obs_top,
+}
+
+
+def cmd_obs(args) -> int:
+    try:
+        return _OBS_COMMANDS[args.obs_command](args)
+    except (OSError, ValueError) as exc:
+        # A missing/empty profile directory is a user error, not a
+        # traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 COMMANDS = {
     "run": cmd_run,
     "fig4": cmd_fig4,
@@ -1045,6 +1140,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "verify": cmd_verify,
     "bench": cmd_bench,
+    "obs": cmd_obs,
     "list": cmd_list,
     "engines": cmd_engines,
     "list-scenarios": cmd_list_scenarios,
@@ -1053,25 +1149,38 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging()  # honors REPRO_LOG; no-op when unset
     runner = _runner_from_args(args)
     if runner is not None:
         set_default_runner(runner)
-    # --engine resolves through the environment: every SystemConfig
-    # built under this command then defaults to the chosen engine, so
-    # it rides explicitly in cells, cache keys, and study manifests.
-    # (Spec/config fields naming an engine explicitly still win.)
+    # --engine and the observability flags resolve through the
+    # environment: every SystemConfig / executor worker built under
+    # this command then sees the chosen engine and obs settings, which
+    # is what carries them into subprocess-pool workers.  (Spec/config
+    # fields naming an engine explicitly still win.)
+    overrides = {}
     engine = getattr(args, "engine", None)
-    saved_engine = os.environ.get(ENGINE_ENV)
     if engine is not None:
-        os.environ[ENGINE_ENV] = engine
+        overrides[ENGINE_ENV] = engine
+    # `hasattr(args, "obs")` marks the commands wired through
+    # _add_obs_options; `repro synth` has an unrelated --profile.
+    if hasattr(args, "obs"):
+        if args.obs:
+            overrides[OBS_ENV] = "1"
+        if args.timeline is not None:
+            overrides[TIMELINE_ENV] = args.timeline
+        if args.profile is not None:
+            overrides[PROFILE_ENV] = args.profile
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
     try:
         return COMMANDS[args.command](args)
     finally:
-        if engine is not None:
-            if saved_engine is None:
-                os.environ.pop(ENGINE_ENV, None)
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
             else:
-                os.environ[ENGINE_ENV] = saved_engine
+                os.environ[name] = value
         if runner is not None:
             set_default_runner(None)
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.stats.counters import RunningStat
 from repro.stats.traffic import FIGURE5_ORDER
@@ -28,6 +28,19 @@ class RunResult:
     cache_stats: Dict[str, int]
     home_stats: Dict[str, int]
     events_processed: int
+    # Runtime metadata (never part of the simulation's bit-identity
+    # contract — see VOLATILE_FIELDS in repro.exec.serialization).
+    #: Epoch seconds when the cell began executing (0.0 outside
+    #: execute_cell, e.g. for a bare System.run).
+    started_at: float = 0.0
+    #: Monotonic wall-clock duration of the cell's build + run.  Cache
+    #: hits report 0.0 with ``cached=True`` instead of the original
+    #: run's timing.
+    wall_time_seconds: float = 0.0
+    #: True when this result was served from the on-disk result cache.
+    cached: bool = False
+    #: Telemetry snapshot captured during the run (``--obs``), or None.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     @property

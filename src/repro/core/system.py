@@ -24,6 +24,7 @@ from repro.interconnect.message import Message
 from repro.interconnect.network import (NetworkInterface, RandomDelayNetwork,
                                         SwitchedNetwork)
 from repro.interconnect.topology import make_topology
+from repro.obs import telemetry as _telemetry
 from repro.prediction.predictors import make_predictor
 from repro.protocols.directory.cache_ctrl import DirectoryCache
 from repro.protocols.directory.home_ctrl import DirectoryHome
@@ -177,6 +178,20 @@ class System:
                 meter.dropped_messages)
 
     # ------------------------------------------------------------------
+    def attach_timeline(self, recorder) -> None:
+        """Wire a :class:`~repro.obs.timeline.TimelineRecorder` in.
+
+        Installs the kernel's per-dispatch sink and, when the network
+        model supports it, the link-occupancy and message lanes.  Every
+        hook is observation-only, so a recorded run stays bit-identical
+        to an unrecorded one.
+        """
+        self.sim.set_event_sink(recorder.kernel_tick)
+        attach = getattr(self.network, "attach_timeline", None)
+        if attach is not None:
+            attach(recorder)
+
+    # ------------------------------------------------------------------
     def run(self, max_cycles: int = DEFAULT_MAX_CYCLES,
             drain: bool = True) -> RunResult:
         """Run the workload to completion and return the results.
@@ -185,21 +200,28 @@ class System:
         :class:`~repro.verify.watchdog.StarvationError` with a diagnostic
         dump.  With ``drain`` the simulation then runs the in-flight
         messages dry so the token-conservation audit can run.
+
+        The sim/drain/collect phases report through telemetry spans;
+        with observability off each span is the shared no-op.
         """
-        for core in self.cores:
-            core.start()
-        self.sim.run(until=max_cycles)
+        obs = _telemetry.current
+        with obs.span("sim"):
+            for core in self.cores:
+                core.start()
+            self.sim.run(until=max_cycles)
         check_all_done(self, max_cycles)
         if self._runtime is None:  # pragma: no cover - guarded above
             raise RuntimeError("cores finished but runtime not recorded")
         if drain:
-            self.sim.run(until=self.sim.now + 10 * max(
-                1, self.config.tenure_timeout_floor) * 100)
-            if self.integrity is not None or self.audit_tokens:
-                audit_single_writer(self)
-            if self.audit_tokens and self.sim.pending() == 0:
-                audit_token_conservation(self)
-        return self._build_result()
+            with obs.span("drain"):
+                self.sim.run(until=self.sim.now + 10 * max(
+                    1, self.config.tenure_timeout_floor) * 100)
+                if self.integrity is not None or self.audit_tokens:
+                    audit_single_writer(self)
+                if self.audit_tokens and self.sim.pending() == 0:
+                    audit_token_conservation(self)
+        with obs.span("collect"):
+            return self._build_result()
 
     # ------------------------------------------------------------------
     def _build_result(self) -> RunResult:

@@ -60,7 +60,7 @@ class _ArrayLink:
                  "busy_until", "_scheduled", "_reserved_seq", "busy_cycles",
                  "meter", "hop_latency", "drop_age", "bandwidth",
                  "_durations", "_inflight", "_serve_cb", "_arrive_cb",
-                 "_forward_row", "_fanout_row", "_endpoints")
+                 "_forward_row", "_fanout_row", "_endpoints", "_timeline")
 
     def __init__(self, network: "ArrayNetwork", src: int, dst: int) -> None:
         self.sim = network.sim
@@ -83,6 +83,7 @@ class _ArrayLink:
         self._inflight: Deque[tuple] = deque()
         self._serve_cb = self._serve
         self._arrive_cb = self._arrive_next
+        self._timeline = None
 
     def enqueue(self, hop: tuple) -> None:
         sim = self.sim
@@ -162,6 +163,10 @@ class _ArrayLink:
         msg_class = hop[_CLASS]
         meter.bytes[msg_class] += size
         meter.link_traversals[msg_class] += 1
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.link_busy(self.src, self.dst, now, duration,
+                               msg_class, size)
         self._inflight.append(hop)
         # Inlined schedules, same draw order as the reference link:
         # the arrival takes ``seq``, the follow-up serve (or its
@@ -240,6 +245,7 @@ class ArrayNetwork(NetworkInterface):
         self.hop_latency = hop_latency
         self.drop_age = drop_age
         self.meter = TrafficMeter()
+        self._timeline = None
         self._durations: Dict[int, int] = {}
         self.routing = topology.build_routing()
         n = topology.num_nodes
@@ -267,11 +273,26 @@ class ArrayNetwork(NetworkInterface):
             raise ValueError(f"endpoint {node} already registered")
         self._endpoints[node] = handler
 
+    def attach_timeline(self, recorder) -> None:
+        """Wire the message lane and every link's occupancy lane.
+
+        Same observation-only contract as the reference network: the
+        recorder reads state, never schedules, so traced runs stay
+        bit-identical.
+        """
+        self._timeline = recorder
+        for link in self._links:
+            link._timeline = recorder
+
     def send(self, msg: Message) -> None:
         """Inject a message at its source node."""
         sim = self.sim
         msg.inject_time = sim.now
         self.meter.record_message(msg.msg_class)
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.message(msg.msg_class, msg.src, msg.dests,
+                             sim.now, msg.size_bytes)
         dests = msg.dests
         src = msg.src
         if len(dests) == 1:

@@ -26,8 +26,13 @@ import sys
 import warnings
 from typing import Dict
 
+from repro.obs import get_logger
+from repro.obs import telemetry as _telemetry
+
 #: Set to ``off``/``0``/``no`` to trust engines without canary runs.
 PARITY_GATE_ENV = "REPRO_ENGINE_PARITY_GATE"
+
+_LOG = get_logger("engines.parity")
 
 #: One cell per protocol: tiny, but crossing every controller pair,
 #: the predictor path, best-effort drops, and the multicast fabric.
@@ -105,13 +110,16 @@ def check_engine_parity(engine: str) -> Dict[str, str]:
     """
     divergent: Dict[str, str] = {}
     from repro.engines import DEFAULT_ENGINE
-    for protocol, predictor in CANARY_CELLS:
-        observed = _run_canary(engine, protocol, predictor)
-        expected = _run_canary(DEFAULT_ENGINE, protocol, predictor)
-        for field, value in expected.items():
-            if observed[field] != value:
-                divergent[f"{protocol}+{predictor}"] = field
-                break
+    # Canary runs are bookkeeping, not the user's cell: keep their spans
+    # out of whatever telemetry registry is currently active.
+    with _telemetry.activate(_telemetry.NULL):
+        for protocol, predictor in CANARY_CELLS:
+            observed = _run_canary(engine, protocol, predictor)
+            expected = _run_canary(DEFAULT_ENGINE, protocol, predictor)
+            for field, value in expected.items():
+                if observed[field] != value:
+                    divergent[f"{protocol}+{predictor}"] = field
+                    break
     return divergent
 
 
@@ -145,6 +153,9 @@ def gated_engine_name(engine: str) -> str:
                    f"{DEFAULT_ENGINE!r} reference engine for this "
                    f"process")
         warnings.warn(message, RuntimeWarning, stacklevel=3)
+        for cell, field in sorted(divergent.items()):
+            _LOG.warning("engine %r parity canary diverged: cell %s, "
+                         "field %s", engine, cell, field)
         print(f"WARNING: {message}", file=sys.stderr)
         _VERDICTS[engine] = DEFAULT_ENGINE
         return DEFAULT_ENGINE

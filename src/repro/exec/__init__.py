@@ -31,7 +31,7 @@ from typing import Optional
 from repro.exec.cache import (CACHE_DIR_ENV, CODE_VERSION_ENV, NO_CACHE_ENV,
                               ResultCache, cache_key, code_version,
                               default_cache_dir)
-from repro.exec.cells import (Cell, cell_from_dict, cell_to_dict,
+from repro.exec.cells import (Cell, cell_from_dict, cell_slug, cell_to_dict,
                               execute_cell, make_cell)
 from repro.exec.executors import (EXECUTOR_ENV, CellExecutionError, Executor,
                                   default_executor_name, executor_names,
@@ -40,17 +40,20 @@ from repro.exec.executors import (EXECUTOR_ENV, CellExecutionError, Executor,
 from repro.exec.manifest import (CellEntry, ManifestStore, StudyManifest,
                                  spec_digest)
 from repro.exec.parallel import JOBS_ENV, ParallelRunner, default_jobs
-from repro.exec.serialization import (run_result_from_dict,
+from repro.exec.serialization import (VOLATILE_FIELDS,
+                                      comparable_result_dict,
+                                      run_result_from_dict,
                                       run_result_to_dict,
                                       running_stat_from_dict,
                                       running_stat_to_dict)
 
 __all__ = [
     "CACHE_DIR_ENV", "CODE_VERSION_ENV", "EXECUTOR_ENV", "JOBS_ENV",
-    "NO_CACHE_ENV",
+    "NO_CACHE_ENV", "VOLATILE_FIELDS",
     "Cell", "CellEntry", "CellExecutionError", "Executor", "ManifestStore",
     "ParallelRunner", "ResultCache", "StudyManifest",
-    "cache_key", "cell_from_dict", "cell_to_dict", "code_version",
+    "cache_key", "cell_from_dict", "cell_slug", "cell_to_dict",
+    "code_version", "comparable_result_dict",
     "default_cache_dir", "default_executor_name",
     "default_jobs", "execute_cell", "executor_names", "executor_specs",
     "get_default_runner", "get_executor", "make_cell", "register_executor",

@@ -11,6 +11,9 @@ parallel execution bit-identical to serial execution.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from dataclasses import asdict
 from typing import Any, Dict, NamedTuple, Tuple
 
@@ -82,19 +85,64 @@ def cell_from_dict(data: Dict[str, Any]) -> Cell:
     )
 
 
+def cell_slug(cell: Cell) -> str:
+    """A filesystem-safe, collision-resistant name for one cell.
+
+    Names the per-cell artifacts observability writes (timeline traces,
+    profile dumps): readable prefix, content digest suffix.
+    """
+    digest = hashlib.sha256(
+        json.dumps(cell_to_dict(cell), sort_keys=True).encode()
+    ).hexdigest()[:12]
+    return (f"{cell.config.protocol}-{cell.workload}"
+            f"-c{cell.config.num_cores}-s{cell.seed}-{digest}")
+
+
 def execute_cell(cell: Cell) -> RunResult:
-    """Run one cell in-process and return its result."""
+    """Run one cell in-process and return its result.
+
+    Beyond the simulation itself, this is where per-cell observability
+    happens — in whichever process the cell runs, so every executor
+    backend gets it for free: wall time is always recorded on the
+    result; with ``REPRO_OBS`` a fresh telemetry registry is active for
+    the duration and its snapshot rides back on ``result.telemetry``;
+    ``REPRO_TIMELINE`` / ``REPRO_PROFILE_DIR`` write this cell's trace
+    and profile beside the run.  None of it changes simulation output.
+    """
     # Imported here (not at module top) to keep the worker-side import
     # footprint explicit and cycle-free.
+    from repro import obs
     from repro.engines import build_system
     from repro.workloads.presets import make_workload
 
-    workload = make_workload(cell.workload,
-                             num_cores=cell.config.num_cores,
-                             seed=cell.seed, **dict(cell.workload_kwargs))
-    # The engine rides in the config (and therefore in cache keys);
-    # build_system resolves it through the registry and applies the
-    # runtime parity gate to non-reference engines.
-    system = build_system(cell.config, workload, cell.references_per_core,
-                          check_integrity=cell.check_integrity)
-    return system.run()
+    telemetry = obs.for_process()
+    profile = obs.start_profile()
+    started_at = time.time()
+    start = time.monotonic()
+    try:
+        with obs.activate(telemetry):
+            with telemetry.span("build"):
+                workload = make_workload(
+                    cell.workload, num_cores=cell.config.num_cores,
+                    seed=cell.seed, **dict(cell.workload_kwargs))
+                # The engine rides in the config (and therefore in cache
+                # keys); build_system resolves it through the registry and
+                # applies the runtime parity gate to non-reference engines.
+                system = build_system(cell.config, workload,
+                                      cell.references_per_core,
+                                      check_integrity=cell.check_integrity)
+            timeline_target = obs.timeline_target()
+            recorder = None
+            if timeline_target is not None:
+                recorder = obs.TimelineRecorder(label=cell_slug(cell))
+                system.attach_timeline(recorder)
+            result = system.run()
+    finally:
+        if profile is not None:
+            obs.dump_profile(profile, cell_slug(cell))
+    if recorder is not None:
+        recorder.write(obs.timeline_path(timeline_target, cell_slug(cell)))
+    result.started_at = started_at
+    result.wall_time_seconds = time.monotonic() - start
+    result.telemetry = telemetry.snapshot()
+    return result

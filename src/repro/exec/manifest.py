@@ -54,18 +54,33 @@ def spec_digest(spec) -> str:
 
 @dataclass
 class CellEntry:
-    """One cell's identity and completion state."""
+    """One cell's identity, completion state, and recorded timings.
+
+    The timing fields are additive (older manifests simply lack them):
+    ``wall_time`` is the cell's recorded wall-clock seconds (0.0 for a
+    cache hit, flagged by ``cached``), ``events_per_second`` its kernel
+    throughput, and ``phases`` the per-span seconds breakdown when the
+    study ran with ``--obs``.
+    """
 
     key: Tuple[str, ...]
     seed: int
     state: str = "pending"
     error: Optional[str] = None
+    wall_time: Optional[float] = None
+    events_per_second: Optional[float] = None
+    cached: Optional[bool] = None
+    phases: Optional[Dict[str, float]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"key": list(self.key), "seed": self.seed,
                                "state": self.state}
         if self.error is not None:
             out["error"] = self.error
+        for name in ("wall_time", "events_per_second", "cached", "phases"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
         return out
 
     @classmethod
@@ -73,8 +88,18 @@ class CellEntry:
         state = data["state"]
         if state not in CELL_STATES:
             raise ValueError(f"unknown cell state {state!r}")
+        wall_time = data.get("wall_time")
+        events = data.get("events_per_second")
+        cached = data.get("cached")
+        phases = data.get("phases")
         return cls(key=tuple(data["key"]), seed=int(data["seed"]),
-                   state=state, error=data.get("error"))
+                   state=state, error=data.get("error"),
+                   wall_time=None if wall_time is None else float(wall_time),
+                   events_per_second=None if events is None
+                   else float(events),
+                   cached=None if cached is None else bool(cached),
+                   phases=None if phases is None
+                   else {str(k): float(v) for k, v in phases.items()})
 
 
 @dataclass
@@ -111,6 +136,27 @@ class StudyManifest:
         cell = self.cells[index]
         cell.state = state
         cell.error = error
+
+    def record_result(self, index: int, result, fresh: bool) -> None:
+        """Mark a cell done and capture its run's timing fields.
+
+        ``result`` is the cell's :class:`~repro.core.results.RunResult`
+        (duck-typed so the manifest layer needs no core import);
+        ``fresh`` is False for cache hits, which record ``wall_time=0.0``
+        and ``cached=True`` per the execution-layer contract.
+        """
+        cell = self.cells[index]
+        cell.state = "done"
+        cell.error = None
+        cell.cached = not fresh
+        wall = float(getattr(result, "wall_time_seconds", 0.0))
+        cell.wall_time = wall
+        events = getattr(result, "events_processed", 0)
+        cell.events_per_second = events / wall if wall > 0 else None
+        snapshot = getattr(result, "telemetry", None)
+        if snapshot:
+            from repro.obs import phase_seconds
+            cell.phases = phase_seconds(snapshot)
 
     def counts(self) -> Dict[str, int]:
         """``{"done": ..., "pending": ..., "failed": ...}``."""

@@ -32,6 +32,7 @@ from repro.exec.executors import (EXECUTOR_ENV, CellExecutionError, Executor,
                                   default_executor_name, execute_cell_payload,
                                   get_executor)
 from repro.exec.serialization import run_result_from_dict
+from repro.obs import telemetry as _telemetry
 
 #: Environment override for the worker count (CLI: ``--jobs``).
 JOBS_ENV = "REPRO_JOBS"
@@ -132,9 +133,18 @@ class ParallelRunner:
         cells = list(cells)
         results: List[Optional[RunResult]] = [None] * len(cells)
         pending: List[int] = []
+        obs = _telemetry.current
         for index, cell in enumerate(cells):
-            cached = self.cache.load(cell) if self.cache is not None else None
+            if self.cache is not None:
+                with obs.span("cache.lookup"):
+                    cached = self.cache.load(cell)
+            else:
+                cached = None
             if cached is not None:
+                # A hit did no work now: report zero wall time with the
+                # cached flag, never the original run's timing.
+                cached.cached = True
+                cached.wall_time_seconds = 0.0
                 results[index] = cached
                 if on_result is not None:
                     on_result(index, cached, False)

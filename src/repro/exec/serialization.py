@@ -15,7 +15,13 @@ from repro.core.results import RunResult
 from repro.stats.counters import RunningStat
 
 #: Bump when the serialized shape changes; stale cache entries miss.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Fields that vary run-to-run (timing, cache provenance, telemetry)
+#: without affecting simulation output.  Bit-identity comparisons —
+#: engine parity, executor parity, trace replay — go through
+#: :func:`comparable_result_dict`, which strips them.
+VOLATILE_FIELDS = ("started_at", "wall_time_seconds", "cached", "telemetry")
 
 
 def running_stat_to_dict(stat: RunningStat) -> Dict[str, Any]:
@@ -51,7 +57,24 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "cache_stats": dict(result.cache_stats),
         "home_stats": dict(result.home_stats),
         "events_processed": result.events_processed,
+        "started_at": result.started_at,
+        "wall_time_seconds": result.wall_time_seconds,
+        "cached": result.cached,
+        "telemetry": result.telemetry,
     }
+
+
+def comparable_result_dict(result: RunResult) -> Dict[str, Any]:
+    """The dict form with run-to-run volatile fields stripped.
+
+    Two executions of the same cell — different engines, executor
+    backends, observability settings, or live vs. trace replay — must
+    agree on this form exactly; their wall times never will.
+    """
+    data = run_result_to_dict(result)
+    for name in VOLATILE_FIELDS:
+        data.pop(name, None)
+    return data
 
 
 def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
@@ -76,4 +99,8 @@ def run_result_from_dict(data: Dict[str, Any]) -> RunResult:
         cache_stats={str(k): int(v) for k, v in data["cache_stats"].items()},
         home_stats={str(k): int(v) for k, v in data["home_stats"].items()},
         events_processed=int(data["events_processed"]),
+        started_at=float(data.get("started_at", 0.0)),
+        wall_time_seconds=float(data.get("wall_time_seconds", 0.0)),
+        cached=bool(data.get("cached", False)),
+        telemetry=data.get("telemetry"),
     )

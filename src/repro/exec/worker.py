@@ -31,9 +31,13 @@ def serve(stdin: Optional[IO[str]] = None,
     """Serve cell-execution requests until stdin closes."""
     # Imported here so ``--help``-style instant exits stay instant and
     # the protocol module is importable without the simulator.
-    from repro.exec.cells import cell_from_dict, execute_cell
-    from repro.exec.serialization import run_result_to_dict
+    from repro.exec.cells import cell_from_dict
+    from repro.exec.executors.base import execute_cell_payload
+    from repro.obs import configure_logging
 
+    # Workers inherit REPRO_LOG from the parent environment; log output
+    # goes to the worker's stderr, never the protocol pipe.
+    configure_logging()
     stdin = sys.stdin if stdin is None else stdin
     stdout = sys.stdout if stdout is None else stdout
     for line in stdin:
@@ -44,7 +48,7 @@ def serve(stdin: Optional[IO[str]] = None,
         response = {"id": request["id"]}
         try:
             cell = cell_from_dict(request["cell"])
-            response["result"] = run_result_to_dict(execute_cell(cell))
+            response["result"] = execute_cell_payload(cell)
         except Exception as exc:
             response["error"] = {"type": type(exc).__name__,
                                  "message": str(exc)}

@@ -105,7 +105,7 @@ class _LinkServer:
                  "busy_until", "_scheduled", "_reserved_seq", "busy_cycles",
                  "meter", "hop_latency", "drop_age", "bandwidth",
                  "_durations", "_inflight", "_serve_cb", "_arrive_cb",
-                 "_forward_row", "_fanout_row", "_endpoints")
+                 "_forward_row", "_fanout_row", "_endpoints", "_timeline")
 
     def __init__(self, network: "SwitchedNetwork", src: int, dst: int) -> None:
         self.sim = network.sim
@@ -139,6 +139,9 @@ class _LinkServer:
         # fresh bound-method object each time.
         self._serve_cb = self._serve
         self._arrive_cb = self._arrive_next
+        # Timeline recorder (attach_timeline); None costs one check
+        # per transmission.
+        self._timeline = None
 
     def enqueue(self, hop: _Hop) -> None:
         sim = self.sim
@@ -207,6 +210,10 @@ class _LinkServer:
         msg_class = hop.msg_class
         meter.bytes[msg_class] += size
         meter.link_traversals[msg_class] += 1
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.link_busy(self.src, self.dst, sim.now, duration,
+                               msg_class, size)
         self._inflight.append(hop)
         sim.post(duration + self.hop_latency, self._arrive_cb)
         if self.normal or self.best_effort:
@@ -274,6 +281,7 @@ class SwitchedNetwork(NetworkInterface):
         self.hop_latency = hop_latency
         self.drop_age = drop_age
         self.meter = TrafficMeter()
+        self._timeline = None
         self.routing = topology.build_routing()
         n = topology.num_nodes
         self._endpoints: List[Optional[Handler]] = [None] * n
@@ -305,10 +313,25 @@ class SwitchedNetwork(NetworkInterface):
             raise ValueError(f"endpoint {node} already registered")
         self._endpoints[node] = handler
 
+    def attach_timeline(self, recorder) -> None:
+        """Wire the message lane and every link's occupancy lane.
+
+        Observation only — the recorder never draws sequence numbers,
+        posts events, or touches RNG, so results stay bit-identical
+        with a recorder attached.
+        """
+        self._timeline = recorder
+        for link in self._links:
+            link._timeline = recorder
+
     def send(self, msg: Message) -> None:
         """Inject a message at its source node."""
         msg.inject_time = self.sim.now
         self.meter.record_message(msg.msg_class)
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.message(msg.msg_class, msg.src, msg.dests,
+                             self.sim.now, msg.size_bytes)
         dests = msg.dests
         src = msg.src
         if len(dests) == 1:

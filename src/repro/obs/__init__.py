@@ -1,0 +1,39 @@
+"""Observability: telemetry, timeline tracing, logging, and profiling.
+
+The package every runtime layer reports through (see
+docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.telemetry` — process-local counters/gauges/timing
+  spans behind ``REPRO_OBS`` / ``--obs``, with order-independent
+  snapshot merging for cross-process aggregation;
+* :mod:`repro.obs.timeline` — per-cell Chrome trace-event capture
+  behind ``REPRO_TIMELINE`` / ``--timeline``;
+* :mod:`repro.obs.logs` — the ``repro.*`` logging namespace behind
+  ``REPRO_LOG``;
+* :mod:`repro.obs.profiling` — per-cell cProfile dumps behind
+  ``REPRO_PROFILE_DIR`` / ``--profile`` and the ``repro obs top``
+  merge.
+
+Everything is off by default and observation-only: enabling any of it
+never changes simulation results (pinned by the obs parity tests).
+"""
+
+from repro.obs.logs import (LOG_ENV, configure_logging, get_logger,
+                            parse_level)
+from repro.obs.profiling import (PROFILE_ENV, dump_profile, profile_dir,
+                                 render_top, start_profile)
+from repro.obs.telemetry import (NULL, OBS_ENV, NullTelemetry, Telemetry,
+                                 activate, enabled, for_process,
+                                 merge_snapshots, phase_seconds,
+                                 study_telemetry)
+from repro.obs.timeline import (TIMELINE_ENV, TimelineRecorder,
+                                timeline_path, timeline_target)
+
+__all__ = [
+    "LOG_ENV", "NULL", "OBS_ENV", "PROFILE_ENV", "TIMELINE_ENV",
+    "NullTelemetry", "Telemetry", "TimelineRecorder",
+    "activate", "configure_logging", "dump_profile", "enabled",
+    "for_process", "get_logger", "merge_snapshots", "parse_level",
+    "phase_seconds", "profile_dir", "render_top", "start_profile",
+    "study_telemetry", "timeline_path", "timeline_target",
+]

@@ -101,6 +101,7 @@ class Simulator:
         self._live = 0            # non-cancelled events in the queue
         self._cancelled = 0       # cancelled events still in the queue
         self._current_seq = -1    # seq of the event being dispatched
+        self._event_sink = None   # per-dispatch observer (timeline tracing)
 
     @property
     def events_processed(self) -> int:
@@ -173,6 +174,19 @@ class Simulator:
         """Stop the run loop after the current event completes."""
         self._stopped = True
 
+    def set_event_sink(self, sink: Optional[Callable[[int], None]]) -> None:
+        """Install (or clear) a per-dispatch observer.
+
+        ``sink(time)`` fires once per dispatched event, before its
+        callback runs — the timeline recorder samples event density
+        through this.  Observation only: a sink must not schedule,
+        cancel, or otherwise touch kernel state, which keeps a traced
+        run bit-identical to an untraced one.  The run loops read the
+        sink once into a local, so the disabled default costs a single
+        ``is not None`` test per event.
+        """
+        self._event_sink = sink
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued (O(1))."""
         return self._live
@@ -215,6 +229,7 @@ class Simulator:
         queue = self._queue
         pop = _heappop
         event_cls = Event
+        sink = self._event_sink
         processed = 0
         try:
             while queue and not self._stopped:
@@ -234,6 +249,8 @@ class Simulator:
                 self._live -= 1
                 self.now = time
                 self._current_seq = seq
+                if sink is not None:
+                    sink(time)
                 callback()
                 processed += 1
                 if max_events is not None and processed >= max_events:
@@ -372,6 +389,7 @@ class BatchedSimulator(Simulator):
         buckets = self._buckets
         times = self._times
         event_cls = Event
+        sink = self._event_sink
         processed = 0
         limit = max_events if max_events is not None else -1
         try:
@@ -413,6 +431,8 @@ class BatchedSimulator(Simulator):
                         else:
                             callback = payload
                         self._current_seq = entry[0]
+                        if sink is not None:
+                            sink(t)
                         callback()
                         processed += 1
                         if self._stopped:

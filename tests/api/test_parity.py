@@ -16,7 +16,7 @@ from repro.core.sweeps import (bandwidth_sweep, encoding_sweep,
                                scalability_sweep, scenario_matrix,
                                topology_sweep)
 from repro.exec import (ParallelRunner, ResultCache, make_cell,
-                        run_result_to_dict)
+                        comparable_result_dict)
 
 VARIANTS = {"Directory": {"protocol": "directory"},
             "PATCH-All": {"protocol": "patch", "predictor": "all"}}
@@ -30,7 +30,7 @@ def runner(tmp_path):
 
 
 def dicts(runs):
-    return [run_result_to_dict(run) for run in runs]
+    return [comparable_result_dict(run) for run in runs]
 
 
 def test_run_experiment_equivalent_to_legacy_cells(runner):
@@ -59,7 +59,7 @@ def test_run_matrix_equivalent_to_legacy_cells(runner):
                         variants=VARIANTS, seeds=seeds, runner=runner)
     for (workload, label), run in zip(slots, legacy_runs):
         wrapper_runs = matrix[workload][label].runs
-        assert run_result_to_dict(run) in dicts(wrapper_runs)
+        assert comparable_result_dict(run) in dicts(wrapper_runs)
     for workload in workloads:
         for label in VARIANTS:
             expected = [run for (w, l), run in zip(slots, legacy_runs)
@@ -85,7 +85,7 @@ def test_bandwidth_sweep_equivalent_to_legacy_cells(runner):
     assert list(sweep) == list(bandwidths)  # float keys preserved
     for (bandwidth, label), run in zip(slots, legacy_runs):
         assert dicts(sweep[bandwidth][label].runs) == [
-            run_result_to_dict(run)]
+            comparable_result_dict(run)]
 
 
 def test_scalability_sweep_equivalent_to_legacy_cells(runner):
@@ -112,7 +112,7 @@ def test_scalability_sweep_equivalent_to_legacy_cells(runner):
     assert list(sweep) == list(core_counts)  # int keys preserved
     for (cores, label), run in zip(slots, legacy_runs):
         assert dicts(sweep[cores][label].runs) == [
-            run_result_to_dict(run)]
+            comparable_result_dict(run)]
 
 
 def test_topology_sweep_equivalent_to_legacy_cells(runner):
@@ -131,7 +131,7 @@ def test_topology_sweep_equivalent_to_legacy_cells(runner):
     for (topology, label), run in zip(slots, legacy_runs):
         experiment = sweep[topology][label]
         assert experiment.label == f"{label}@{topology}"
-        assert dicts(experiment.runs) == [run_result_to_dict(run)]
+        assert dicts(experiment.runs) == [comparable_result_dict(run)]
 
 
 def test_scenario_matrix_equivalent_to_legacy_cells(runner):
@@ -152,7 +152,7 @@ def test_scenario_matrix_equivalent_to_legacy_cells(runner):
     for (workload, topology, label), run in zip(slots, legacy_runs):
         experiment = results[workload][topology][label]
         assert experiment.label == f"{label}[{workload}@{topology}]"
-        assert dicts(experiment.runs) == [run_result_to_dict(run)]
+        assert dicts(experiment.runs) == [comparable_result_dict(run)]
 
 
 def test_encoding_sweep_equivalent_to_legacy_cells(runner):
@@ -177,7 +177,7 @@ def test_encoding_sweep_equivalent_to_legacy_cells(runner):
     for (label, coarseness), run in zip(slots, legacy_runs):
         experiment = sweep[label][coarseness]
         assert experiment.label == f"{label}-1:{coarseness}"
-        assert dicts(experiment.runs) == [run_result_to_dict(run)]
+        assert dicts(experiment.runs) == [comparable_result_dict(run)]
 
 
 def test_wrappers_hit_the_cache_populated_by_legacy_cells(tmp_path):

@@ -112,10 +112,10 @@ def test_session_cache_accounting(tmp_path):
     assert second.cache_delta["hits"] == spec.num_cells()
     assert second.cache_delta["misses"] == 0
     # Cached results are identical to fresh ones.
-    from repro.exec import run_result_to_dict
+    from repro.exec import comparable_result_dict
     for key in first.keys:
-        assert ([run_result_to_dict(r) for r in first.runs_by_key[key]]
-                == [run_result_to_dict(r)
+        assert ([comparable_result_dict(r) for r in first.runs_by_key[key]]
+                == [comparable_result_dict(r)
                     for r in second.runs_by_key[key]])
 
 

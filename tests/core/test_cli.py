@@ -186,6 +186,7 @@ def _documented_invocations(text):
                                  "docs/PERFORMANCE.md", "docs/API.md",
                                  "docs/EXECUTION.md",
                                  "docs/VERIFICATION.md",
+                                 "docs/OBSERVABILITY.md",
                                  "benchmarks/repro_cases/README.md"])
 def test_documented_cli_recipes_exist(doc):
     """Anti-drift: every `repro` invocation in the docs must parse."""
@@ -224,7 +225,31 @@ def test_bench_command_writes_report(tmp_path, capsys, monkeypatch):
     assert code == 0
     assert out.exists()
     assert (tmp_path / "results" / "fig4_runtime.txt").exists()
-    assert "headline" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert "headline" in captured.out
+    # Progress chatter ([bench] ...) goes to stderr; verdicts to stdout.
+    assert not any(line.startswith("[")
+                   for line in captured.out.splitlines())
+    import json
+    report = json.loads(out.read_text())
+    assert report["obs"] == {"enabled": False, "studies": []}
+
+
+def test_bench_obs_flag_records_study_telemetry(tmp_path, capsys,
+                                                monkeypatch):
+    import json
+    import repro.bench as bench_mod
+    from test_bench import TINY_SCALE
+    monkeypatch.setattr(bench_mod, "QUICK_SCALE", TINY_SCALE)
+    out = tmp_path / "bench_results.json"
+    assert main(["bench", "--quick", "--jobs", "1", "--no-cache", "--obs",
+                 "--results-dir", str(tmp_path / "results"),
+                 "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert report["obs"]["enabled"] is True
+    studies = report["obs"]["studies"]
+    assert studies and all("study" in s and s["cells"] > 0
+                           for s in studies)
 
 
 def test_bench_perf_command_merges_engine_report(tmp_path, monkeypatch):
@@ -583,27 +608,39 @@ def test_study_run_prints_deterministic_table(tmp_path, capsys):
     argv = ["study", "run", path, "--jobs", "1",
             "--cache-dir", str(tmp_path / "cache")]
     assert main(argv) == 0
-    first = capsys.readouterr().out
-    assert "Study cli-tiny" in first
-    assert "Directory" in first and "PATCH-All" in first
-    assert "[exec] executor=local workers=1" in first
-    assert "[cache] 0 hits, 2 misses, 2 stores" in first
-    # Second run: identical table, all cells served from cache.
+    first = capsys.readouterr()
+    assert "Study cli-tiny" in first.out
+    assert "Directory" in first.out and "PATCH-All" in first.out
+    # Execution chatter lives on stderr; stdout is the table alone.
+    assert "[exec] executor=local workers=1" in first.err
+    assert "[cache] 0 hits, 2 misses, 2 stores" in first.err
+    # Second run: identical stdout, all cells served from cache.
     assert main(argv) == 0
-    second = capsys.readouterr().out
-    assert "[cache] 2 hits, 0 misses, 0 stores" in second
-    table = lambda text: [line for line in text.splitlines()  # noqa: E731
-                          if not line.startswith("[cache]")]
-    assert table(first) == table(second)
+    second = capsys.readouterr()
+    assert "[cache] 2 hits, 0 misses, 0 stores" in second.err
+    assert first.out == second.out
+
+
+def test_study_run_stdout_is_only_the_result_table(tmp_path, capsys):
+    """Regression: stdout of `repro study run` stays machine-parseable —
+    every progress/cache line goes to stderr."""
+    path = _tiny_spec_file(tmp_path)
+    assert main(["study", "run", path, "--jobs", "1",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert lines[0].startswith("Study cli-tiny")
+    assert not any(line.startswith("[") for line in lines)
 
 
 def test_study_run_no_cache_omits_cache_line(tmp_path, capsys):
     path = _tiny_spec_file(tmp_path)
     assert main(["study", "run", path, "--jobs", "1",
                  "--no-cache"]) == 0
-    out = capsys.readouterr().out
-    assert "[cache]" not in out
-    assert "[exec] executor=local workers=1" in out  # still echoed
+    captured = capsys.readouterr()
+    assert "[cache]" not in captured.err
+    assert "[cache]" not in captured.out
+    assert "[exec] executor=local workers=1" in captured.err  # still echoed
 
 
 def test_study_run_reports_spec_errors_cleanly(tmp_path, capsys):
@@ -618,15 +655,13 @@ def test_study_run_executor_flag_is_echoed(tmp_path, capsys):
     argv = ["study", "run", path, "--jobs", "2",
             "--cache-dir", str(tmp_path / "cache")]
     assert main(argv + ["--executor", "serial"]) == 0
-    serial = capsys.readouterr().out
-    assert "[exec] executor=serial workers=2" in serial
+    serial = capsys.readouterr()
+    assert "[exec] executor=serial workers=2" in serial.err
     # A different backend over a warm cache: identical table.
     assert main(argv + ["--executor", "subprocess-pool"]) == 0
-    pooled = capsys.readouterr().out
-    assert "[exec] executor=subprocess-pool workers=2" in pooled
-    table = lambda text: [line for line in text.splitlines()  # noqa: E731
-                          if not line.startswith("[")]
-    assert table(serial) == table(pooled)
+    pooled = capsys.readouterr()
+    assert "[exec] executor=subprocess-pool workers=2" in pooled.err
+    assert serial.out == pooled.out
 
 
 def test_study_run_rejects_unknown_executor():
@@ -645,10 +680,10 @@ def test_study_max_cells_then_resume_roundtrip(tmp_path, capsys):
 
     # Chunk 1: one cell executes, three stay pending.
     assert main(["study", "run", path, "--max-cells", "1"] + cache) == 0
-    out = capsys.readouterr().out
-    assert "1 done, 3 pending, 0 failed of 4 cells" in out
-    assert "--resume" in out  # points at how to continue
-    assert "[exec] executor=local workers=1" in out
+    captured = capsys.readouterr()
+    assert "1 done, 3 pending, 0 failed of 4 cells" in captured.out
+    assert "--resume" in captured.err  # points at how to continue
+    assert "[exec] executor=local workers=1" in captured.err
 
     assert main(["study", "status", path] + cache) == 0
     assert "1 done, 3 pending, 0 failed of 4 cells" \
@@ -656,9 +691,9 @@ def test_study_max_cells_then_resume_roundtrip(tmp_path, capsys):
 
     # Resume: only the three missing cells execute (1 hit, 3 misses).
     assert main(["study", "run", path, "--resume"] + cache) == 0
-    out = capsys.readouterr().out
-    assert "Study cli-tiny" in out
-    assert "[cache] 1 hits, 3 misses, 3 stores" in out
+    captured = capsys.readouterr()
+    assert "Study cli-tiny" in captured.out
+    assert "[cache] 1 hits, 3 misses, 3 stores" in captured.err
 
     assert main(["study", "status", path] + cache) == 0
     assert "4 done, 0 pending, 0 failed of 4 cells" \
@@ -866,3 +901,93 @@ def test_engine_flag_selects_engine_for_run(capsys, monkeypatch):
                  "--refs", "10", "--engine", "array", "--no-cache"]) == 0
     assert seen["engine"] == "array"
     assert "REPRO_ENGINE" not in os.environ  # restored after dispatch
+
+
+# ---------------------------------------------------------------------------
+# Observability flags and `repro obs top`
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["run", "--obs", "--timeline", "out.json", "--profile", "prof"],
+    ["bench", "--quick", "--obs"],
+    ["study", "run", "spec.json", "--obs", "--timeline", "traces"],
+])
+def test_obs_flags_accepted_where_documented(argv):
+    args = build_parser().parse_args(argv)
+    assert args.obs is True
+
+
+def test_obs_flags_set_and_restore_the_environment(tmp_path, capsys):
+    import os
+    traces = tmp_path / "traces"
+    prof = tmp_path / "prof"
+    assert main(["run", "--workload", "microbench", "--cores", "4",
+                 "--refs", "10", "--no-cache", "--obs",
+                 "--timeline", str(traces), "--profile", str(prof)]) == 0
+    # The flags ride as env vars (so workers inherit them) and are
+    # restored after dispatch.
+    assert "REPRO_OBS" not in os.environ
+    assert "REPRO_TIMELINE" not in os.environ
+    assert "REPRO_PROFILE_DIR" not in os.environ
+    assert list(traces.glob("*.json"))   # the cell's trace landed
+    assert list(prof.glob("*.pstats"))   # and its profile
+    assert "cycles" in capsys.readouterr().out
+
+
+def test_obs_run_output_matches_plain_run(tmp_path, capsys):
+    argv = ["run", "--workload", "microbench", "--cores", "4",
+            "--refs", "10", "--no-cache"]
+    assert main(argv) == 0
+    plain = capsys.readouterr().out
+    assert main(argv + ["--obs"]) == 0
+    assert capsys.readouterr().out == plain  # obs never changes results
+
+
+def test_obs_top_renders_merged_profiles(tmp_path, capsys):
+    prof = tmp_path / "prof"
+    assert main(["run", "--workload", "microbench", "--cores", "4",
+                 "--refs", "10", "--no-cache",
+                 "--profile", str(prof)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "top", str(prof), "--limit", "5",
+                 "--sort", "tottime"]) == 0
+    out = capsys.readouterr().out
+    assert "merged 1 profile(s)" in out
+    assert "tottime" in out
+
+
+def test_obs_top_explains_an_empty_directory(tmp_path, capsys):
+    assert main(["obs", "top", str(tmp_path)]) == 2
+    assert "--profile" in capsys.readouterr().err
+
+
+def test_obs_top_rejects_unknown_sort():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs", "top", "prof",
+                                   "--sort", "alphabetical"])
+
+
+def test_study_status_shows_per_cell_timings(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(["study", "run", path, "--jobs", "1", "--obs"] + cache) == 0
+    capsys.readouterr()
+    assert main(["study", "status", path] + cache) == 0
+    out = capsys.readouterr().out
+    assert "2 done, 0 pending, 0 failed of 2 cells" in out
+    # Every cell line carries wall time + throughput, and the --obs run
+    # recorded a phase breakdown.
+    assert re.search(r"done: Directory seed=1: \d+\.\d+s, "
+                     r"[\d,]+ events/s", out)
+    assert "sim" in out and "build" in out
+
+
+def test_study_status_marks_cached_cells(tmp_path, capsys):
+    path = _tiny_spec_file(tmp_path)
+    cache = ["--cache-dir", str(tmp_path / "cache")]
+    assert main(["study", "run", path, "--jobs", "1"] + cache) == 0
+    assert main(["study", "run", path, "--jobs", "1"] + cache) == 0
+    capsys.readouterr()
+    assert main(["study", "status", path] + cache) == 0
+    out = capsys.readouterr().out
+    assert "done: Directory seed=1: cached" in out

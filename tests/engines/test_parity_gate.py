@@ -58,6 +58,23 @@ def test_divergent_engine_falls_back_loudly(monkeypatch):
     assert gated_engine_name("array") == DEFAULT_ENGINE
 
 
+def test_divergence_logs_the_divergent_cell_key(monkeypatch, caplog):
+    """Beyond the warning, the structured log names *which* cell
+    diverged on *which* field — REPRO_LOG=warning pinpoints it."""
+    monkeypatch.setattr(parity, "check_engine_parity",
+                        lambda engine: {"patch+all": "runtime_cycles",
+                                        "directory+none": "total_traffic"})
+    with caplog.at_level("WARNING", logger="repro.engines.parity"), \
+            pytest.warns(RuntimeWarning, match="failed the parity canary"):
+        assert gated_engine_name("array") == DEFAULT_ENGINE
+    messages = [record.getMessage() for record in caplog.records
+                if record.name == "repro.engines.parity"]
+    assert any("patch+all" in msg and "runtime_cycles" in msg
+               for msg in messages)
+    assert any("directory+none" in msg and "total_traffic" in msg
+               for msg in messages)
+
+
 def test_gate_env_off_skips_canaries(monkeypatch):
     monkeypatch.setenv(parity.PARITY_GATE_ENV, "off")
 

@@ -8,7 +8,7 @@ import pytest
 from repro.config import SystemConfig
 from repro.exec import (CellExecutionError, ParallelRunner, get_executor,
                         executor_names, executor_specs, make_cell,
-                        register_executor, run_result_to_dict)
+                        register_executor, comparable_result_dict)
 from repro.exec.executors import Executor
 from repro.exec.cells import cell_to_dict
 from repro.exec.worker import serve
@@ -26,7 +26,7 @@ def small_grid(seeds=(1, 2)):
 
 
 def serialized(results):
-    return [run_result_to_dict(result) for result in results]
+    return [comparable_result_dict(result) for result in results]
 
 
 # ---------------------------------------------------------------------------
@@ -173,9 +173,15 @@ def _serve_lines(requests):
 def test_worker_protocol_roundtrip_matches_inprocess_execution():
     cell = small_grid(seeds=(1,))[0]
     from repro.exec.cells import execute_cell
-    expected = run_result_to_dict(execute_cell(cell))
+    from repro.exec.serialization import VOLATILE_FIELDS
+    expected = comparable_result_dict(execute_cell(cell))
     replies = _serve_lines([{"id": 7, "cell": cell_to_dict(cell)}])
-    assert replies == [{"id": 7, "result": expected}]
+    assert replies[0]["id"] == 7
+    # The wire carries the full dict, wall times included; the
+    # simulation payload must match the in-process run exactly.
+    payload = {key: value for key, value in replies[0]["result"].items()
+               if key not in VOLATILE_FIELDS}
+    assert payload == expected
 
 
 def test_worker_protocol_reports_errors_and_keeps_serving():

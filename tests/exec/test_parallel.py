@@ -7,7 +7,7 @@ from repro.core.runner import (PAPER_CONFIGS, compare_configs,
                                run_experiment)
 from repro.exec import (CellExecutionError, ParallelRunner, ResultCache,
                         default_jobs, get_default_runner, make_cell,
-                        run_result_to_dict, set_default_runner)
+                        comparable_result_dict, set_default_runner)
 
 BASE = SystemConfig(num_cores=4)
 
@@ -20,7 +20,7 @@ def fig4_cells(refs=15, seeds=(1, 2)):
 
 
 def serialized(results):
-    return [run_result_to_dict(result) for result in results]
+    return [comparable_result_dict(result) for result in results]
 
 
 def test_parallel_is_bit_identical_to_serial():

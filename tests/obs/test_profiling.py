@@ -1,0 +1,52 @@
+"""Per-cell profiling: capture in execute_cell, merged rendering."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.exec import comparable_result_dict, make_cell
+from repro.exec.cells import cell_slug, execute_cell
+from repro.obs.profiling import (SORT_KEYS, profile_dir, render_top,
+                                 start_profile)
+
+BASE = SystemConfig(num_cores=4)
+
+
+def test_profiling_is_off_without_the_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PROFILE_DIR", raising=False)
+    assert profile_dir() is None
+    assert start_profile() is None
+
+
+def test_execute_cell_dumps_a_pstats_per_cell(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "prof"))
+    cells = [make_cell(BASE, "microbench", 12, seed=seed)
+             for seed in (1, 2)]
+    bare = [comparable_result_dict(execute_cell(cell)) for cell in cells]
+    for cell in cells:
+        assert (tmp_path / "prof" / f"{cell_slug(cell)}.pstats").exists()
+    # Profiling costs wall time only — results stay bit-identical.
+    monkeypatch.delenv("REPRO_PROFILE_DIR")
+    assert [comparable_result_dict(execute_cell(c)) for c in cells] == bare
+
+
+def test_render_top_merges_and_sorts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path))
+    for seed in (1, 2):
+        execute_cell(make_cell(BASE, "microbench", 10, seed=seed))
+    table = render_top(tmp_path, limit=10)
+    assert "merged 2 profile(s)" in table
+    assert "cumulative" in table
+    # The simulation's own frames dominate the table.
+    assert "kernel.py" in table
+    for sort in SORT_KEYS:
+        assert render_top(tmp_path, limit=3, sort=sort)
+
+
+def test_render_top_rejects_unknown_sort(tmp_path):
+    with pytest.raises(ValueError, match="sort must be one of"):
+        render_top(tmp_path, sort="alphabetical")
+
+
+def test_render_top_explains_an_empty_directory(tmp_path):
+    with pytest.raises(FileNotFoundError, match="--profile DIR"):
+        render_top(tmp_path)

@@ -1,0 +1,195 @@
+"""Telemetry registry: the env gate, the NULL path, and exact merging."""
+
+import random
+
+import pytest
+
+from repro.obs import telemetry as tel
+from repro.obs.telemetry import (NULL, NullTelemetry, Telemetry, activate,
+                                 enabled, for_process, merge_snapshots,
+                                 phase_seconds, study_telemetry)
+
+
+# ---------------------------------------------------------------------------
+# The environment gate
+# ---------------------------------------------------------------------------
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert not enabled()
+    assert for_process() is NULL
+
+
+@pytest.mark.parametrize("value", ["0", "off", "no", "false", "", "  "])
+def test_falsy_values_stay_disabled(monkeypatch, value):
+    monkeypatch.setenv("REPRO_OBS", value)
+    assert not enabled()
+
+
+@pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+def test_truthy_values_enable(monkeypatch, value):
+    monkeypatch.setenv("REPRO_OBS", value)
+    assert enabled()
+    registry = for_process()
+    assert isinstance(registry, Telemetry)
+    assert registry is not for_process()  # fresh per call, never shared
+
+
+# ---------------------------------------------------------------------------
+# The disabled path: one shared singleton, nothing allocates
+# ---------------------------------------------------------------------------
+
+def test_null_is_a_shared_noop():
+    assert isinstance(NULL, NullTelemetry)
+    assert not NULL.enabled
+    # The span context manager is one shared object, not a fresh one
+    # per call — the disabled hot path must not allocate.
+    assert NULL.span("a") is NULL.span("b")
+    with NULL.span("anything"):
+        NULL.count("x")
+        NULL.gauge("y", 3.0)
+        NULL.timing("z", 0.5)
+    assert NULL.snapshot() is None
+
+
+def test_null_span_propagates_exceptions():
+    with pytest.raises(RuntimeError):
+        with NULL.span("s"):
+            raise RuntimeError("must not be swallowed")
+
+
+# ---------------------------------------------------------------------------
+# The enabled registry
+# ---------------------------------------------------------------------------
+
+def test_counters_gauges_and_timings():
+    t = Telemetry()
+    t.count("cache.hits")
+    t.count("cache.hits", 2)
+    t.gauge("pool.size", 4)
+    t.gauge("pool.size", 2)  # gauges overwrite
+    t.timing("phase", 1.0)
+    t.timing("phase", 3.0)
+    snap = t.snapshot()
+    assert snap["counters"] == {"cache.hits": 3}
+    assert snap["gauges"] == {"pool.size": 2.0}
+    assert snap["spans"]["phase"]["count"] == 2
+    assert snap["spans"]["phase"]["mean"] == pytest.approx(2.0)
+    assert snap["spans"]["phase"]["min"] == 1.0
+    assert snap["spans"]["phase"]["max"] == 3.0
+
+
+def test_span_times_its_block():
+    t = Telemetry()
+    with t.span("work"):
+        pass
+    with t.span("work"):
+        pass
+    data = t.snapshot()["spans"]["work"]
+    assert data["count"] == 2
+    assert data["min"] >= 0.0
+
+
+def test_span_records_even_when_block_raises():
+    t = Telemetry()
+    with pytest.raises(ValueError):
+        with t.span("doomed"):
+            raise ValueError("boom")
+    assert t.snapshot()["spans"]["doomed"]["count"] == 1
+
+
+def test_activate_restores_previous_even_on_error():
+    outer = Telemetry()
+    inner = Telemetry()
+    assert tel.current is NULL
+    with activate(outer):
+        assert tel.current is outer
+        with activate(inner):
+            assert tel.current is inner
+        assert tel.current is outer
+        with pytest.raises(RuntimeError):
+            with activate(inner):
+                raise RuntimeError("boom")
+        assert tel.current is outer
+    assert tel.current is NULL
+
+
+# ---------------------------------------------------------------------------
+# Merging: exact order-independence (the property the Session relies on)
+# ---------------------------------------------------------------------------
+
+def _random_snapshot(rng):
+    t = Telemetry()
+    for name in ("a", "b", "c"):
+        if rng.random() < 0.8:
+            t.count(f"counter.{name}", rng.randrange(1, 100))
+        if rng.random() < 0.8:
+            t.gauge(f"gauge.{name}", rng.uniform(0, 10))
+        for _ in range(rng.randrange(0, 5)):
+            t.timing(f"span.{name}", rng.uniform(0.001, 2.0))
+    return t.snapshot()
+
+
+def test_merge_is_bit_identical_under_any_permutation():
+    rng = random.Random(20260807)
+    snapshots = [_random_snapshot(rng) for _ in range(8)]
+    reference = merge_snapshots(snapshots)
+    for _ in range(25):
+        shuffled = list(snapshots)
+        rng.shuffle(shuffled)
+        assert merge_snapshots(shuffled) == reference  # exact, not approx
+
+
+def test_merge_sums_counters_and_maxes_gauges():
+    a = {"counters": {"hits": 2}, "gauges": {"peak": 1.0}, "spans": {}}
+    b = {"counters": {"hits": 3, "misses": 1}, "gauges": {"peak": 4.0},
+         "spans": {}}
+    merged = merge_snapshots([a, b])
+    assert merged["counters"] == {"hits": 5, "misses": 1}
+    assert merged["gauges"] == {"peak": 4.0}
+
+
+def test_merge_skips_none_and_merges_welford_stats():
+    t1, t2 = Telemetry(), Telemetry()
+    for value in (1.0, 2.0, 3.0):
+        t1.timing("s", value)
+    for value in (4.0, 5.0):
+        t2.timing("s", value)
+    merged = merge_snapshots([None, t1.snapshot(), None, t2.snapshot()])
+    stat = merged["spans"]["s"]
+    assert stat["count"] == 5
+    assert stat["mean"] == pytest.approx(3.0)
+    assert stat["min"] == 1.0 and stat["max"] == 5.0
+
+
+def test_merge_of_nothing_is_none():
+    assert merge_snapshots([]) is None
+    assert merge_snapshots([None, None]) is None
+
+
+# ---------------------------------------------------------------------------
+# Derived views
+# ---------------------------------------------------------------------------
+
+def test_phase_seconds_totals_count_times_mean():
+    t = Telemetry()
+    t.timing("sim", 2.0)
+    t.timing("sim", 4.0)
+    t.timing("build", 1.0)
+    phases = phase_seconds(t.snapshot())
+    assert phases["sim"] == pytest.approx(6.0)
+    assert phases["build"] == pytest.approx(1.0)
+    assert phase_seconds(None) is None
+    assert phase_seconds({"spans": {}}) is None
+
+
+def test_study_telemetry_counts_instrumented_cells():
+    t = Telemetry()
+    t.count("x")
+    block = study_telemetry([None, t.snapshot(), t.snapshot()],
+                            session={"counters": {}, "gauges": {},
+                                     "spans": {}})
+    assert block["cells"] == 2
+    assert block["merged"]["counters"] == {"x": 2}
+    assert "session" in block
+    assert study_telemetry([None, None]) is None

@@ -10,7 +10,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.core.runner import run_one
-from repro.exec.serialization import run_result_to_dict
+from repro.exec.serialization import comparable_result_dict
 from repro.traces import (TraceExhaustedError, TraceWorkload, load_trace,
                           record_trace, save_trace)
 from repro.workloads.registry import get_spec, make_workload
@@ -35,7 +35,7 @@ def test_replay_is_bit_identical(workload, topology, protocol, tmp_path):
         predictor="all" if protocol == "patch" else "none")
     live = run_one(config, workload, REFS, seed=5)
     replayed = run_one(config, "trace", REFS, seed=5, path=str(path))
-    assert run_result_to_dict(live) == run_result_to_dict(replayed)
+    assert comparable_result_dict(live) == comparable_result_dict(replayed)
 
 
 def test_replay_under_shorter_quota_matches_shorter_live_run(tmp_path):
@@ -47,7 +47,7 @@ def test_replay_under_shorter_quota_matches_shorter_live_run(tmp_path):
                           predictor="owner")
     live = run_one(config, "migratory", 10, seed=2)
     replayed = run_one(config, "trace", 10, seed=2, path=str(path))
-    assert run_result_to_dict(live) == run_result_to_dict(replayed)
+    assert comparable_result_dict(live) == comparable_result_dict(replayed)
 
 
 def test_trace_workload_registered_with_trace_kind():

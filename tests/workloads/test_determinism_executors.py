@@ -13,7 +13,7 @@ Two layers for every pattern workload plus the synthetic sampler:
 import pytest
 
 from repro.config import SystemConfig
-from repro.exec import ParallelRunner, make_cell, run_result_to_dict
+from repro.exec import ParallelRunner, make_cell, comparable_result_dict
 from repro.synth import profile_workload
 from repro.traces import record_trace, save_trace
 from repro.workloads.patterns import PATTERN_NAMES
@@ -64,7 +64,7 @@ def test_all_executors_produce_identical_results(profile_path):
     per_backend = {}
     for backend in ("serial", "local", "subprocess-pool"):
         results = ParallelRunner(jobs=2, executor=backend).run_cells(cells)
-        per_backend[backend] = [run_result_to_dict(result)
+        per_backend[backend] = [comparable_result_dict(result)
                                 for result in results]
     assert per_backend["serial"] == per_backend["local"]
     assert per_backend["serial"] == per_backend["subprocess-pool"]
