@@ -113,21 +113,26 @@ class Session:
             return None
         return ManifestStore(self.cache.root)
 
-    def status(self, spec: StudySpec) -> Optional[StudyManifest]:
+    def status(self, spec: StudySpec,
+               strict: bool = False) -> Optional[StudyManifest]:
         """The study's recorded progress, or None if never recorded.
 
         Raises ``ValueError`` for uncached sessions: without a result
-        cache there is nowhere to record (or resume) progress.
+        cache there is nowhere to record (or resume) progress.  With
+        ``strict=True`` a manifest file that exists but cannot be
+        parsed raises :class:`~repro.exec.manifest.ManifestError`
+        naming the path (a missing one is still just ``None``).
         """
         store = self.manifest_store()
         if store is None:
             raise ValueError("study status/resume needs the result cache "
                              "(drop --no-cache / REPRO_NO_CACHE)")
         from repro.exec.manifest import spec_digest
-        return store.load(spec_digest(spec))
+        return store.load(spec_digest(spec), strict=strict)
 
     def _open_manifest(self, store: ManifestStore, spec: StudySpec,
-                      resume: bool) -> StudyManifest:
+                      resume: bool,
+                      executor: Optional[Executor] = None) -> StudyManifest:
         """Continue the stored manifest (resume) or start a fresh one.
 
         A resumed manifest must describe exactly this spec's grid;
@@ -147,6 +152,8 @@ class Session:
                 # probe below will miss and re-run them; the manifest
                 # just follows along.
                 manifest.code_version = code_version()
+        if executor is not None:
+            manifest.executor = executor.name
         store.save(manifest)
         return manifest
 
@@ -223,7 +230,8 @@ class Session:
         store = self.manifest_store()
         if store is None:
             return self.runner.run_cells(cells, executor=executor)
-        manifest = self._open_manifest(store, spec, resume)
+        manifest = self._open_manifest(store, spec, resume,
+                                       executor=executor)
         try:
             runs = self.runner.run_cells(
                 cells, executor=executor,
@@ -239,7 +247,8 @@ class Session:
                          executor: Executor,
                          limit: Optional[int]) -> StudyManifest:
         store = self.manifest_store()
-        manifest = self._open_manifest(store, spec, resume=True)
+        manifest = self._open_manifest(store, spec, resume=True,
+                                       executor=executor)
         try:
             self.runner.run_cells(
                 cells, executor=executor, limit=limit,

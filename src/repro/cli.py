@@ -30,6 +30,10 @@ regenerates the paper's experiments from the shell:
     repro study run examples/specs/fig4_smoke.json --max-cells 8
     repro study run examples/specs/fig4_smoke.json --resume
     repro study status examples/specs/fig4_smoke.json
+    repro study list
+    repro serve --port 8273 --jobs 4
+    repro study submit examples/specs/fig4_smoke.json --server http://127.0.0.1:8273
+    repro serve-load --studies 24 --clients 8
     repro study run examples/specs/fig4_smoke.json --obs
     repro study run examples/specs/fig4_smoke.json --obs --timeline traces
     repro run --workload oltp --obs --timeline run.json
@@ -65,7 +69,13 @@ regenerates the whole figure suite with machine-readable timings, and
 ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).  ``repro study run``
 additionally takes ``--resume`` / ``--max-cells`` for resumable and
 chunked grids, with ``repro study status`` reporting recorded
-progress — docs/EXECUTION.md is the operations guide.  The run, study
+progress and ``repro study list`` enumerating every recorded
+manifest — docs/EXECUTION.md is the operations guide.  ``repro
+serve`` runs the experiment service daemon (studies over HTTP with a
+shared warm cache and in-flight dedup), ``repro study submit`` sends
+a spec to one and renders the same table as a local run, and ``repro
+serve-load`` measures service latency/dedup under concurrent
+overlapping submissions — docs/SERVICE.md is that guide.  The run, study
 run, and bench subcommands accept the observability flags ``--obs``
 (run telemetry: counters and phase spans, surfaced in study status
 and the bench report), ``--timeline PATH`` (per-cell Chrome
@@ -526,6 +536,64 @@ def build_parser() -> argparse.ArgumentParser:
     sstatus.add_argument("spec", metavar="SPEC.json")
     _add_exec_options(sstatus)
 
+    slist = stsub.add_parser(
+        "list", help="list every study manifest recorded beside the "
+                     "result cache (digest, study, progress, executor)")
+    _add_exec_options(slist)
+
+    ssubmit = stsub.add_parser(
+        "submit", help="submit a spec to a running service daemon and "
+                       "render the same result table as a local run "
+                       "(docs/SERVICE.md)")
+    ssubmit.add_argument("spec", metavar="SPEC.json")
+    ssubmit.add_argument("--server", required=True, metavar="URL",
+                         help="service base URL, e.g. "
+                              "http://127.0.0.1:8273 (start one with: "
+                              "repro serve)")
+    ssubmit.add_argument("--timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="seconds to wait for the study to finish "
+                              "(default 600)")
+    ssubmit.add_argument("--no-wait", action="store_true",
+                         help="submit, print the study id, and return "
+                              "without waiting for completion")
+
+    serve = sub.add_parser(
+        "serve", help="run the experiment service daemon: studies over "
+                      "HTTP with a shared warm cache and in-flight "
+                      "dedup (docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=_nonneg_int, default=8273,
+                       help="TCP port; 0 binds an ephemeral port "
+                            "(default 8273)")
+    _add_exec_options(serve)
+
+    serve_load = sub.add_parser(
+        "serve-load", help="load-test the service: concurrent "
+                           "overlapping submissions against a fresh "
+                           "in-process daemon; the latency/dedup report "
+                           "merges into bench_results.json under "
+                           "'service'")
+    _add_exec_options(serve_load)
+    serve_load.add_argument("--studies", type=_positive_int, default=24,
+                            help="overlapping studies to submit "
+                                 "(default 24)")
+    serve_load.add_argument("--clients", type=_positive_int, default=8,
+                            help="concurrent client threads (default 8)")
+    serve_load.add_argument("--window", type=_positive_int, default=4,
+                            help="cells per study; adjacent studies "
+                                 "share window-1 cells (default 4)")
+    serve_load.add_argument("--refs", type=_positive_int, default=8,
+                            help="references per core per cell "
+                                 "(default 8)")
+    serve_load.add_argument("--out", default="bench_results.json",
+                            metavar="FILE",
+                            help="report file to merge the 'service' "
+                                 "block into (default "
+                                 "bench_results.json; '-' skips "
+                                 "writing)")
+
     obs_cmd = sub.add_parser(
         "obs", help="observability utilities (docs/OBSERVABILITY.md)")
     osub = obs_cmd.add_subparsers(dest="obs_command", required=True)
@@ -800,6 +868,16 @@ def _cmd_study_run(args) -> int:
         return 0
     result = session.run(spec, validate=False,  # load() validated
                          resume=args.resume)
+    _print_study_table(result)
+    _print_exec_epilogue(result)
+    return 0
+
+
+def _print_study_table(result) -> None:
+    """The deterministic per-point table — the *same* renderer for a
+    local run and a ``study submit`` fetch, so their stdout is
+    byte-identical for the same grid."""
+    spec = result.spec
     axis_names = list(result.axis_names) or ["study"]
     rows = []
     for key in result.keys:
@@ -811,15 +889,22 @@ def _cmd_study_run(args) -> int:
     print(format_table(f"Study {spec.name}: {_study_shape(spec)}",
                        axis_names + ["runtime", "+-95%", "bytes/miss"],
                        rows))
+
+
+def _print_exec_epilogue(result) -> None:
     # stdout carries exactly the result table; execution chatter
     # ([exec]/[cache]) goes to stderr so pipelines can diff/parse it.
     print(f"[exec] executor={result.executor} workers={result.jobs}",
           file=sys.stderr)
     delta = result.cache_delta
     if delta is not None:
-        print(f"[cache] {delta['hits']} hits, {delta['misses']} misses, "
-              f"{delta['stores']} stores", file=sys.stderr)
-    return 0
+        line = (f"[cache] {delta['hits']} hits, {delta['misses']} "
+                f"misses, {delta['stores']} stores")
+        if delta.get("shared"):
+            # Service-only bucket: cells this study waited on another
+            # in-flight study to execute.
+            line += f", {delta['shared']} shared"
+        print(line, file=sys.stderr)
 
 
 def _cmd_study_status(args) -> int:
@@ -830,10 +915,15 @@ def _cmd_study_status(args) -> int:
               "cache; drop --no-cache / REPRO_NO_CACHE",
               file=sys.stderr)
         return 2
-    manifest = session.status(spec)
+    # strict=True: a manifest file that exists but cannot be parsed is
+    # a pointed ManifestError naming the path (rendered by cmd_study),
+    # never a silent "no recorded progress".
+    manifest = session.status(spec, strict=True)
     if manifest is None:
-        print(f"study {spec.name}: no recorded progress "
-              f"(run it with: repro study run {args.spec})")
+        from repro.exec.manifest import spec_digest
+        expected = session.manifest_store().path_for(spec_digest(spec))
+        print(f"study {spec.name}: no recorded progress — no manifest "
+              f"at {expected} (run it with: repro study run {args.spec})")
         return 0
     print(f"study {spec.name}: {manifest.summary()}")
     for cell in manifest.failed_cells():
@@ -863,22 +953,91 @@ def _cmd_study_status(args) -> int:
     return 0
 
 
+def _cmd_study_list(args) -> int:
+    session = Session()
+    store = session.manifest_store()
+    if store is None:
+        print("error: study manifests live beside the result cache; "
+              "drop --no-cache / REPRO_NO_CACHE", file=sys.stderr)
+        return 2
+    entries = store.list()
+    if not entries:
+        print(f"no recorded studies under {store.root}")
+        return 0
+    rows = []
+    corrupt = []
+    for path, manifest in entries:
+        if manifest is None:
+            corrupt.append(path)
+            continue
+        counts = manifest.counts()
+        progress = f"{counts['done']}/{len(manifest.cells)}"
+        rows.append([manifest.digest, manifest.study, progress,
+                     str(counts["failed"]), manifest.executor or "-"])
+    if rows:
+        print(format_table(f"Recorded studies ({store.root})",
+                           ["digest", "study", "done", "failed",
+                            "executor"], rows))
+    for path in corrupt:
+        print(f"corrupt manifest: {path} (delete it and re-run the "
+              f"study)", file=sys.stderr)
+    return 0
+
+
+def _cmd_study_submit(args) -> int:
+    from repro.service.client import ServiceClient
+    spec = StudySpec.load(args.spec)
+    client = ServiceClient(args.server, timeout=args.timeout)
+    submitted = client.submit(spec)
+    study_id = submitted["study"]
+    sub = submitted["submission"]
+    print(f"[service] study {study_id} {submitted['state']} on "
+          f"{args.server} ({sub['hits']} cached, {sub['shared']} shared, "
+          f"{sub['queued']} queued)", file=sys.stderr)
+    if args.no_wait:
+        print(study_id)
+        print(f"(fetch later with: repro study submit {args.spec} "
+              f"--server {args.server})", file=sys.stderr)
+        return 0
+    result = client.wait(study_id, timeout=args.timeout)
+    _print_study_table(result)
+    _print_exec_epilogue(result)
+    return 0
+
+
 _STUDY_COMMANDS = {
     "validate": _cmd_study_validate,
     "show": _cmd_study_show,
     "run": _cmd_study_run,
     "status": _cmd_study_status,
+    "list": _cmd_study_list,
+    "submit": _cmd_study_submit,
 }
 
 
 def cmd_study(args) -> int:
+    from repro.exec import ManifestError
+    from repro.service.client import ServiceError
     try:
         return _STUDY_COMMANDS[args.study_command](args)
+    except ManifestError as exc:
+        # A manifest file that exists but cannot be parsed: the message
+        # names the path; never a traceback, never "no progress".
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (OSError, SpecError) as exc:
         # Missing/corrupt spec files and schema violations are user
         # errors, not tracebacks.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except ServiceError as exc:
+        # Unreachable server or a server-side rejection (the body is
+        # the same pointed SpecError text a local run prints).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except CellExecutionError as exc:
         # A failed cell is recorded in the study's manifest; point the
         # user at the status/resume workflow instead of a traceback.
@@ -887,6 +1046,80 @@ def cmd_study(args) -> int:
               f"`repro study status {args.spec}` and retry with "
               f"`repro study run {args.spec} --resume`)", file=sys.stderr)
         return 1
+
+
+# ---------------------------------------------------------------------------
+# `repro serve` / `repro serve-load`
+# ---------------------------------------------------------------------------
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.exec import get_default_runner
+    from repro.service import make_server
+    from repro.service.scheduler import StudyScheduler
+
+    # main() already installed the runner described by --jobs /
+    # --executor / --cache-dir / --no-cache as the process default;
+    # the daemon simply owns it for its whole lifetime.
+    scheduler = StudyScheduler(runner=get_default_runner(),
+                               executor=args.executor)
+    try:
+        server = make_server(args.host, args.port, scheduler)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    cache = scheduler.cache
+    where = str(cache.root) if cache is not None else "DISABLED"
+    print(f"[service] listening on http://{args.host}:{server.port} "
+          f"(jobs={scheduler.runner.jobs}, cache={where}); "
+          f"SIGINT/SIGTERM stop gracefully", file=sys.stderr)
+    if cache is None:
+        print("[service] warning: running --no-cache — no dedup across "
+              "daemon restarts, no resumable manifests", file=sys.stderr)
+
+    def request_shutdown(signum, frame):
+        # shutdown() blocks until serve_forever returns, so it must run
+        # off the signal-handling (main) thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {sig: signal.signal(sig, request_shutdown)
+                for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        server.serve_forever()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+        # Finishes the in-flight batch and leaves queued cells pending
+        # in their manifests — `repro study run SPEC --resume` picks
+        # any interrupted study back up.
+        scheduler.stop()
+        print("[service] stopped; study manifests persisted "
+              "(resume interrupted studies with: repro study run "
+              "SPEC.json --resume)", file=sys.stderr)
+    return 0
+
+
+def cmd_serve_load(args) -> int:
+    from repro.service.load import (merge_report, render_report,
+                                    run_service_load)
+    if args.no_cache:
+        print("error: the service needs a result cache (manifests, "
+              "dedup); drop --no-cache", file=sys.stderr)
+        return 2
+    report = run_service_load(studies=args.studies, clients=args.clients,
+                              window=args.window, refs=args.refs,
+                              jobs=args.jobs, executor=args.executor,
+                              cache_dir=args.cache_dir)
+    print(render_report(report))
+    if args.out != "-":
+        merge_report(report, args.out)
+        print(f"service report -> {args.out} (key 'service')",
+              file=sys.stderr)
+    return 1 if report["failures"] else 0
 
 
 # ---------------------------------------------------------------------------
@@ -1135,6 +1368,8 @@ COMMANDS = {
     "fig8": cmd_fig8,
     "fig9": cmd_fig9,
     "scenarios": cmd_scenarios,
+    "serve": cmd_serve,
+    "serve-load": cmd_serve_load,
     "study": cmd_study,
     "synth": cmd_synth,
     "trace": cmd_trace,

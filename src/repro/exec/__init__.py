@@ -37,8 +37,8 @@ from repro.exec.executors import (EXECUTOR_ENV, CellExecutionError, Executor,
                                   default_executor_name, executor_names,
                                   executor_specs, get_executor,
                                   register_executor)
-from repro.exec.manifest import (CellEntry, ManifestStore, StudyManifest,
-                                 spec_digest)
+from repro.exec.manifest import (CellEntry, ManifestError, ManifestStore,
+                                 StudyManifest, spec_digest)
 from repro.exec.parallel import JOBS_ENV, ParallelRunner, default_jobs
 from repro.exec.serialization import (VOLATILE_FIELDS,
                                       comparable_result_dict,
@@ -50,8 +50,8 @@ from repro.exec.serialization import (VOLATILE_FIELDS,
 __all__ = [
     "CACHE_DIR_ENV", "CODE_VERSION_ENV", "EXECUTOR_ENV", "JOBS_ENV",
     "NO_CACHE_ENV", "VOLATILE_FIELDS",
-    "Cell", "CellEntry", "CellExecutionError", "Executor", "ManifestStore",
-    "ParallelRunner", "ResultCache", "StudyManifest",
+    "Cell", "CellEntry", "CellExecutionError", "Executor", "ManifestError",
+    "ManifestStore", "ParallelRunner", "ResultCache", "StudyManifest",
     "cache_key", "cell_from_dict", "cell_slug", "cell_to_dict",
     "code_version", "comparable_result_dict",
     "default_cache_dir", "default_executor_name",

@@ -39,6 +39,11 @@ MANIFEST_SCHEMA = 1
 CELL_STATES = ("pending", "done", "failed")
 
 
+class ManifestError(ValueError):
+    """A study manifest file exists but cannot be read; the message
+    names the path so the user can inspect or delete it."""
+
+
 def spec_digest(spec) -> str:
     """Stable identity of a study's *grid* (not its execution knobs).
 
@@ -110,6 +115,11 @@ class StudyManifest:
     digest: str
     code_version: str
     cells: List[CellEntry] = field(default_factory=list)
+    #: Name of the execution backend the recording run resolved
+    #: (additive like the timing fields; older manifests lack it).
+    #: Informational only — deliberately outside the digest, so
+    #: switching backends continues the same progress record.
+    executor: Optional[str] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -180,11 +190,14 @@ class StudyManifest:
 
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, Any]:
-        return {"manifest_schema": MANIFEST_SCHEMA,
-                "study": self.study,
-                "digest": self.digest,
-                "code_version": self.code_version,
-                "cells": [cell.to_json_dict() for cell in self.cells]}
+        out = {"manifest_schema": MANIFEST_SCHEMA,
+               "study": self.study,
+               "digest": self.digest,
+               "code_version": self.code_version,
+               "cells": [cell.to_json_dict() for cell in self.cells]}
+        if self.executor is not None:
+            out["executor"] = self.executor
+        return out
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, Any]) -> "StudyManifest":
@@ -192,10 +205,12 @@ class StudyManifest:
             raise ValueError(
                 f"unsupported manifest_schema "
                 f"{data.get('manifest_schema')!r}")
+        executor = data.get("executor")
         return cls(study=str(data["study"]), digest=str(data["digest"]),
                    code_version=str(data["code_version"]),
                    cells=[CellEntry.from_json_dict(cell)
-                          for cell in data["cells"]])
+                          for cell in data["cells"]],
+                   executor=None if executor is None else str(executor))
 
 
 class ManifestStore:
@@ -214,14 +229,60 @@ class ManifestStore:
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.json"
 
-    def load(self, digest: str) -> Optional[StudyManifest]:
-        """The stored manifest for ``digest``, or None."""
+    def load(self, digest: str,
+             strict: bool = False) -> Optional[StudyManifest]:
+        """The stored manifest for ``digest``, or None when missing.
+
+        The default mode treats any unreadable or corrupt file as a
+        miss (a manifest is a progress record, never data).  With
+        ``strict=True`` a *missing* manifest is still None — a study
+        that never ran is a normal state — but a file that exists and
+        cannot be parsed raises :class:`ManifestError` naming the path,
+        so ``repro study status`` can point at the damage instead of
+        silently reporting "no recorded progress".
+        """
+        path = self.path_for(digest)
         try:
-            with open(self.path_for(digest), "r", encoding="utf-8") as handle:
+            with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-            return StudyManifest.from_json_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
             return None
+        except OSError as exc:
+            if strict:
+                raise ManifestError(
+                    f"study manifest {path} is unreadable: {exc}") from exc
+            return None
+        except ValueError as exc:
+            if strict:
+                raise ManifestError(
+                    f"study manifest {path} is corrupt (not valid JSON: "
+                    f"{exc}); delete it and re-run the study") from exc
+            return None
+        try:
+            return StudyManifest.from_json_dict(data)
+        except (ValueError, KeyError, TypeError) as exc:
+            if strict:
+                raise ManifestError(
+                    f"study manifest {path} is corrupt ({exc}); delete "
+                    f"it and re-run the study") from exc
+            return None
+
+    def list(self) -> List[Tuple[Path, Optional[StudyManifest]]]:
+        """Every manifest under the store, sorted by file name.
+
+        Returns ``(path, manifest)`` pairs; a corrupt file appears with
+        ``manifest=None`` so callers (``repro study list``, the service
+        study index) can surface it instead of hiding it.  A missing
+        ``studies/`` directory is simply an empty listing.
+        """
+        try:
+            paths = sorted(self.root.glob("*.json"))
+        except OSError:
+            return []
+        out: List[Tuple[Path, Optional[StudyManifest]]] = []
+        for path in paths:
+            out.append((path, self.load(path.stem)))
+        return out
 
     def save(self, manifest: StudyManifest) -> Optional[Path]:
         """Atomically persist ``manifest``; None if the disk refused."""

@@ -185,6 +185,7 @@ def _documented_invocations(text):
 @pytest.mark.parametrize("doc", ["README.md", "docs/SCENARIOS.md",
                                  "docs/PERFORMANCE.md", "docs/API.md",
                                  "docs/EXECUTION.md",
+                                 "docs/SERVICE.md",
                                  "docs/VERIFICATION.md",
                                  "docs/OBSERVABILITY.md",
                                  "benchmarks/repro_cases/README.md"])

@@ -1,0 +1,59 @@
+"""The load harness: spec family shape, percentiles, report merging."""
+
+import json
+
+from repro.service.load import (merge_report, overlapping_specs,
+                                percentiles, run_service_load)
+
+
+def test_overlapping_specs_share_exactly_window_minus_one_seeds():
+    specs = overlapping_specs(studies=5, window=4, refs=8, cores=2)
+    assert len(specs) == 5
+    assert [s["name"] for s in specs] == [f"service-load-{i:03d}"
+                                          for i in range(5)]
+    for earlier, later in zip(specs, specs[1:]):
+        shared = set(earlier["seeds"]) & set(later["seeds"])
+        assert len(shared) == 3  # window - 1
+
+
+def test_percentiles_nearest_rank():
+    # 100 samples of 1..100 ms: nearest-rank picks exact elements.
+    samples = [i / 1000.0 for i in range(1, 101)]
+    assert percentiles(samples) == {"p50": 50.0, "p95": 96.0,
+                                    "p99": 100.0}
+    assert percentiles([0.002]) == {"p50": 2.0, "p95": 2.0, "p99": 2.0}
+    assert percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_small_load_run_reports_exact_dedup_accounting(tmp_path):
+    studies, window = 6, 3
+    report = run_service_load(studies=studies, clients=3, window=window,
+                              refs=4, jobs=2,
+                              cache_dir=str(tmp_path / "cache"))
+    assert report["failures"] == []
+    assert report["cell_requests"] == studies * window
+    # Sliding windows over one config: seeds 1..studies+window-1.
+    assert report["unique_cells_executed"] == studies + window - 1
+    shared_or_cached = (report["dedup_ratio"]
+                        + report["cache_hit_ratio"])
+    expected = 1 - report["unique_cells_executed"] \
+        / report["cell_requests"]
+    # Each ratio is rounded to 4 decimals in the report.
+    assert abs(shared_or_cached - expected) < 1e-4 + 1e-9
+    for block in ("submit_ms", "complete_ms"):
+        assert set(report[block]) == {"p50", "p95", "p99"}
+        assert report[block]["p50"] <= report[block]["p99"]
+
+
+def test_merge_report_preserves_existing_blocks(tmp_path):
+    out = tmp_path / "bench_results.json"
+    out.write_text(json.dumps({"engine_perf": {"events_per_sec": 123},
+                               "service": {"stale": True}}))
+    merge_report({"wall_seconds": 1.5, "failures": []}, str(out))
+    merged = json.loads(out.read_text())
+    assert merged["engine_perf"] == {"events_per_sec": 123}
+    assert merged["service"] == {"wall_seconds": 1.5, "failures": []}
+    # A corrupt report file is replaced, not a crash.
+    out.write_text("{nope")
+    merge_report({"ok": 1}, str(out))
+    assert json.loads(out.read_text()) == {"service": {"ok": 1}}

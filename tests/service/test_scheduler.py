@@ -1,0 +1,198 @@
+"""Scheduler invariants: dedup, exact accounting, failure, shutdown.
+
+``autostart=False`` is the determinism lever: submissions are
+registered (and their dedup bookkeeping fixed) before a single cell
+executes, so the in-flight-sharing assertions cannot race the
+dispatcher.
+"""
+
+import threading
+
+from repro.api import Session
+from repro.exec import ResultCache, cache_key
+from repro.exec.manifest import ManifestStore, spec_digest
+from repro.service.scheduler import StudyScheduler
+
+from tests.service.conftest import overlapping_pair, tiny_spec
+
+
+def _scheduler(tmp_path, autostart=False, jobs=2):
+    return StudyScheduler(jobs=jobs, cache_dir=tmp_path / "cache",
+                          autostart=autostart)
+
+
+def test_overlapping_submissions_share_in_flight_cells(tmp_path):
+    """The second study joins the first's queued cells instead of
+    enqueueing duplicates, and the shared execution runs once."""
+    first, second = overlapping_pair(window=3)
+    shared = len(set(map(cache_key, first.cells()))
+                 & set(map(cache_key, second.cells())))
+    assert shared == 2  # the overlap this test is about
+
+    scheduler = _scheduler(tmp_path)
+    rec_a, sub_a = scheduler.submit(first)
+    rec_b, sub_b = scheduler.submit(second)
+    # Before anything executes: A queued all its cells, B queued only
+    # its novel one and joined A's two in-flight cells.
+    assert sub_a == {"created": True, "hits": 0, "shared": 0,
+                     "queued": first.num_cells()}
+    assert sub_b == {"created": True, "hits": 0, "shared": shared,
+                     "queued": second.num_cells() - shared}
+    assert scheduler.stats()["cells_in_flight"] == \
+        first.num_cells() + second.num_cells() - shared
+
+    scheduler.start()
+    assert scheduler.wait(rec_a.study_id, timeout=60).state == "done"
+    assert scheduler.wait(rec_b.study_id, timeout=60).state == "done"
+
+    # Exactly-once: every unique cell simulated and stored once.
+    unique = first.num_cells() + second.num_cells() - shared
+    assert scheduler.cache.stats()["stores"] == unique
+    assert rec_a.cache_delta == {"hits": 0, "misses": first.num_cells(),
+                                 "shared": 0,
+                                 "stores": first.num_cells(),
+                                 "store_errors": 0}
+    assert rec_b.cache_delta == {"hits": 0,
+                                 "misses": second.num_cells() - shared,
+                                 "shared": shared,
+                                 "stores": second.num_cells() - shared,
+                                 "store_errors": 0}
+    scheduler.stop()
+
+
+def test_concurrent_submission_threads_dedup_exactly_once(tmp_path):
+    """The tests/exec/test_cache_concurrent.py shape, service-side:
+    two threads race their POSTs; every shared cell still executes
+    exactly once and the per-study deltas partition the grid."""
+    first, second = overlapping_pair(window=4)
+    scheduler = _scheduler(tmp_path, autostart=True)
+    barrier = threading.Barrier(2)
+    records = {}
+
+    def submit(spec):
+        barrier.wait()
+        record, _ = scheduler.submit(spec)
+        scheduler.wait(record.study_id, timeout=60)
+        records[spec.name] = record
+
+    threads = [threading.Thread(target=submit, args=(spec,))
+               for spec in (first, second)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    rec_a, rec_b = records[first.name], records[second.name]
+    assert rec_a.state == "done" and rec_b.state == "done"
+
+    unique = len(set(map(cache_key, first.cells()))
+                 | set(map(cache_key, second.cells())))
+    assert scheduler.cache.stats()["stores"] == unique
+    # Whatever the interleaving, each study accounts for every one of
+    # its cells exactly once across the four buckets, and the two
+    # studies' fresh executions sum to the unique cell count.
+    for record, spec in ((rec_a, first), (rec_b, second)):
+        delta = record.cache_delta
+        assert delta["hits"] + delta["misses"] + delta["shared"] \
+            == spec.num_cells()
+        assert delta["stores"] == delta["misses"]
+        assert delta["store_errors"] == 0
+    assert rec_a.cache_delta["misses"] + rec_b.cache_delta["misses"] \
+        == unique
+    scheduler.stop()
+
+
+def test_resubmission_is_idempotent_and_instant_when_warm(tmp_path):
+    spec = tiny_spec(seeds=(1, 2, 3))
+    scheduler = _scheduler(tmp_path, autostart=True)
+    record, summary = scheduler.submit(spec)
+    assert summary["created"] is True
+    scheduler.wait(record.study_id, timeout=60)
+
+    again, summary = scheduler.submit(spec)
+    assert again is record  # same record, not a re-run
+    assert summary == {"created": False, "hits": spec.num_cells(),
+                       "shared": 0, "queued": 0}
+    scheduler.stop()
+
+    # A brand-new daemon over the same cache dir: the whole study is
+    # warm, so submission resolves before returning.
+    revived = _scheduler(tmp_path, autostart=False)
+    record, summary = revived.submit(spec)
+    assert record.state == "done"  # without the dispatcher running
+    assert summary == {"created": True, "hits": spec.num_cells(),
+                       "shared": 0, "queued": 0}
+    assert record.cache_delta["hits"] == spec.num_cells()
+
+
+def test_results_identical_to_local_session_run(tmp_path):
+    from repro.exec.serialization import comparable_result_dict
+    spec = tiny_spec(seeds=(1, 2), axes=[
+        {"name": "variant", "points": [
+            {"label": "dir", "config": {"protocol": "directory",
+                                        "predictor": "none"}},
+            {"label": "patch", "config": {"protocol": "patch",
+                                          "predictor": "all"}}]}])
+    local = Session(jobs=1, cache_dir=tmp_path / "local").run(spec)
+    scheduler = _scheduler(tmp_path, autostart=True)
+    record, _ = scheduler.submit(spec)
+    served = scheduler.wait(record.study_id, timeout=60).result
+    scheduler.stop()
+    assert served.keys == local.keys
+    for mine, theirs in zip(local.runs, served.runs):
+        assert comparable_result_dict(mine) \
+            == comparable_result_dict(theirs)
+
+
+def test_failed_cell_fails_every_subscribed_study(tmp_path):
+    # A schema-valid spec whose execution fails: the trace workload
+    # pointed at a file that does not exist.
+    from repro.api import StudySpec
+    spec = StudySpec.from_json_dict({
+        "spec_schema": 2, "name": "svc-bad",
+        "base_config": {"num_cores": 2},
+        "workload": "trace", "references_per_core": 4,
+        "workload_kwargs": {"path": str(tmp_path / "missing.rpt")},
+        "seeds": [1],
+        "axes": [],
+    })
+    scheduler = _scheduler(tmp_path, autostart=True)
+    record, _ = scheduler.submit(spec)
+    scheduler.wait(record.study_id, timeout=60)
+    assert record.state == "failed"
+    assert "missing.rpt" in (record.error or "")
+    # The manifest records the failure for `repro study status`.
+    manifest = ManifestStore(scheduler.cache.root).load(
+        spec_digest(spec))
+    assert manifest is not None
+    assert manifest.counts()["failed"] == 1
+    # The terminal event closes the stream with the failed state.
+    assert record.events[-1]["event"] == "study-done"
+    assert record.events[-1]["state"] == "failed"
+    scheduler.stop()
+
+    # Resubmission retries a failed study rather than pinning it.
+    retry = _scheduler(tmp_path, autostart=False)
+    fresh, summary = retry.submit(spec)
+    assert summary["created"] is True
+    assert fresh.state == "running"
+
+
+def test_stop_keeps_queued_cells_pending_and_resumable(tmp_path):
+    spec = tiny_spec(seeds=(1, 2, 3, 4))
+    scheduler = _scheduler(tmp_path, autostart=False)
+    record, _ = scheduler.submit(spec)
+    scheduler.stop()  # dispatcher never started: nothing executed
+    assert record.state == "running"
+
+    # The manifest was persisted at submit with every cell pending, so
+    # a plain local resume finishes the interrupted study.
+    store = ManifestStore(ResultCache(tmp_path / "cache").root)
+    manifest = store.load(spec_digest(spec))
+    assert manifest is not None
+    assert manifest.counts()["pending"] == spec.num_cells()
+
+    session = Session(jobs=1, cache_dir=tmp_path / "cache")
+    result = session.run(spec, resume=True)
+    assert len(result.runs) == spec.num_cells()
+    manifest = store.load(spec_digest(spec))
+    assert manifest.complete
